@@ -1,0 +1,131 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section (§IV): it runs the registered experiments and writes
+// gnuplot .dat series, CSV files and a notes summary into the output
+// directory, optionally with terminal ASCII previews.
+//
+// By default it runs at 1/10 of the paper's scale (the shapes are already
+// stable there); -full switches to the paper's 100,000 / 1,000,000 node
+// workloads, which takes considerably longer.
+//
+// Examples:
+//
+//	figures                        # all experiments, 1/10 scale, ./out
+//	figures -only fig05,table1     # a subset
+//	figures -full -out paperout    # paper-scale reproduction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"p2psize/internal/experiments"
+	"p2psize/internal/plot"
+)
+
+func main() {
+	var (
+		outDir = flag.String("out", "out", "output directory")
+		scale  = flag.Int("scale", 10, "divide the paper's node counts by this factor")
+		full   = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
+		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		ascii  = flag.Bool("ascii", true, "print ASCII previews")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	params := experiments.Scaled(*scale)
+	if *full {
+		params = experiments.Defaults()
+	}
+	params.Seed = *seed
+
+	ids := experiments.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	var notes strings.Builder
+	fmt.Fprintf(&notes, "# Measured notes (seed %d, N100k=%d, N1M=%d)\n\n",
+		params.Seed, params.N100k, params.N1M)
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		fig, err := experiments.Run(id, params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		fmt.Printf("== %s: %s (%v)\n", fig.ID, fig.Title, elapsed)
+		if len(fig.Series) > 0 {
+			writeSeries(*outDir, fig)
+			if *ascii {
+				fmt.Println(plot.ASCII(72, 16, fig.Series...))
+			}
+		}
+		fmt.Fprintf(&notes, "## %s — %s\n\n", fig.ID, fig.Title)
+		for _, n := range fig.Notes {
+			fmt.Printf("   note: %s\n", n)
+			fmt.Fprintf(&notes, "- %s\n", n)
+		}
+		fmt.Fprintln(&notes)
+		fmt.Println()
+	}
+	notesPath := filepath.Join(*outDir, "NOTES.md")
+	if err := os.WriteFile(notesPath, []byte(notes.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("notes written to %s\n", notesPath)
+}
+
+func writeSeries(outDir string, fig *experiments.Figure) {
+	datPath := filepath.Join(outDir, fig.ID+".dat")
+	f, err := os.Create(datPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "# %s\n# x: %s, y: %s\n", fig.Title, fig.XLabel, fig.YLabel)
+	if err := plot.WriteDAT(f, fig.Series...); err != nil {
+		fatal(err)
+	}
+	// CSV only when the series share one x grid (dynamic aggregation
+	// figures record the real size at a finer resolution).
+	aligned := true
+	for _, s := range fig.Series[1:] {
+		if s.Len() != fig.Series[0].Len() {
+			aligned = false
+			break
+		}
+	}
+	if aligned {
+		csvPath := filepath.Join(outDir, fig.ID+".csv")
+		cf, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer cf.Close()
+		if err := plot.WriteCSV(cf, fig.Series...); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

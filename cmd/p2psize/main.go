@@ -1,0 +1,174 @@
+// Command p2psize runs decentralized size estimations on a simulated
+// peer-to-peer overlay and reports accuracy and message overhead.
+//
+// Examples:
+//
+//	p2psize -nodes 100000 -algo sc -l 200 -runs 10
+//	p2psize -nodes 100000 -algo hops -runs 10 -smooth
+//	p2psize -nodes 100000 -algo agg -rounds 50
+//	p2psize -nodes 100000 -algo all -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"p2psize"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 10000, "overlay size")
+		topology = flag.String("topology", "heterogeneous", "heterogeneous | homogeneous | scalefree | ring")
+		maxDeg   = flag.Int("maxdeg", 0, "degree cap (0 = paper default)")
+		algo     = flag.String("algo", "all", "sc | hops | agg | tour | poll | all | everything")
+		l        = flag.Int("l", 200, "Sample&Collide collision target")
+		timer    = flag.Float64("T", 10, "Sample&Collide walk timer")
+		mle      = flag.Bool("mle", false, "use the MLE refinement for Sample&Collide")
+		rounds   = flag.Int("rounds", 50, "Aggregation rounds per estimation")
+		minHops  = flag.Int("minhops", 5, "HopsSampling minHopsReporting")
+		runs     = flag.Int("runs", 5, "estimations per algorithm")
+		smooth   = flag.Bool("smooth", false, "apply the last10runs heuristic")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	topo, err := parseTopology(*topology)
+	if err != nil {
+		fatal(err)
+	}
+	estimators, err := buildEstimators(*algo, estOpts{
+		l: *l, timer: *timer, mle: *mle, rounds: *rounds, minHops: *minHops, seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("building %s overlay with %d nodes (seed %d)...\n", topo, *nodes, *seed)
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{
+		Nodes: *nodes, Topology: topo, MaxDegree: *maxDeg, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("overlay ready: %d peers, average degree %.2f, connected=%v\n\n",
+		net.Size(), net.AvgDegree(), net.IsConnected())
+
+	for _, est := range estimators {
+		if *smooth {
+			est = p2psize.Smoothed(est, 10)
+		}
+		net.ResetMessages()
+		vals, err := p2psize.RunRepeated(est, net, *runs)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", est.Name(), err))
+		}
+		reportRun(est.Name(), vals, net)
+	}
+}
+
+type estOpts struct {
+	l       int
+	timer   float64
+	mle     bool
+	rounds  int
+	minHops int
+	seed    uint64
+}
+
+func parseTopology(s string) (p2psize.Topology, error) {
+	switch strings.ToLower(s) {
+	case "heterogeneous", "het":
+		return p2psize.Heterogeneous, nil
+	case "homogeneous", "hom":
+		return p2psize.Homogeneous, nil
+	case "scalefree", "scale-free", "ba":
+		return p2psize.ScaleFree, nil
+	case "ring":
+		return p2psize.Ring, nil
+	default:
+		return 0, fmt.Errorf("unknown topology %q", s)
+	}
+}
+
+func buildEstimators(algo string, o estOpts) ([]p2psize.Estimator, error) {
+	sc := p2psize.NewSampleCollide(p2psize.SampleCollideOptions{
+		T: o.timer, L: o.l, UseMLE: o.mle, Seed: o.seed + 100,
+	})
+	hops := p2psize.NewHopsSampling(p2psize.HopsSamplingOptions{
+		MinHopsReporting: o.minHops, Seed: o.seed + 200,
+	})
+	agg := p2psize.NewAggregation(p2psize.AggregationOptions{
+		Rounds: o.rounds, Seed: o.seed + 300,
+	})
+	tour := p2psize.NewRandomTour(p2psize.RandomTourOptions{
+		Tours: 10, Seed: o.seed + 400,
+	})
+	poll := p2psize.NewPolling(p2psize.PollingOptions{
+		Seed: o.seed + 500,
+	})
+	switch strings.ToLower(algo) {
+	case "sc", "samplecollide", "sample-collide":
+		return []p2psize.Estimator{sc}, nil
+	case "hops", "hopssampling":
+		return []p2psize.Estimator{hops}, nil
+	case "agg", "aggregation":
+		return []p2psize.Estimator{agg}, nil
+	case "tour", "randomtour":
+		return []p2psize.Estimator{tour}, nil
+	case "poll", "polling":
+		return []p2psize.Estimator{poll}, nil
+	case "all":
+		return []p2psize.Estimator{sc, hops, agg}, nil
+	case "everything":
+		return []p2psize.Estimator{sc, hops, agg, tour, poll}, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want sc, hops, agg, tour, poll, all or everything)", algo)
+	}
+}
+
+func reportRun(name string, vals []float64, net *p2psize.Network) {
+	truth := float64(net.Size())
+	var sum, sumAbsErr float64
+	for _, v := range vals {
+		sum += v
+		sumAbsErr += math.Abs(v/truth-1) * 100
+	}
+	mean := sum / float64(len(vals))
+	fmt.Printf("%s\n", name)
+	fmt.Printf("  estimates: %s\n", formatVals(vals))
+	fmt.Printf("  mean %.0f (true %d), mean |error| %.1f%%\n",
+		mean, net.Size(), sumAbsErr/float64(len(vals)))
+	fmt.Printf("  messages: %d total (%.0f per estimation)\n",
+		net.Messages(), float64(net.Messages())/float64(len(vals)))
+	byKind := net.MessagesByKind()
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("    %-14s %d\n", k, byKind[k])
+	}
+	fmt.Println()
+}
+
+func formatVals(vals []float64) string {
+	parts := make([]string, 0, len(vals))
+	for _, v := range vals {
+		parts = append(parts, fmt.Sprintf("%.0f", v))
+	}
+	if len(parts) > 8 {
+		parts = append(parts[:8], "...")
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2psize:", err)
+	os.Exit(1)
+}

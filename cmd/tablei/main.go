@@ -1,0 +1,43 @@
+// Command tablei reproduces the paper's Table I: per-algorithm accuracy
+// and message overhead for one estimation on the (scaled) 100,000-node
+// heterogeneous overlay, printed as text and markdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2psize/internal/experiments"
+)
+
+func main() {
+	var (
+		scale    = flag.Int("scale", 10, "divide the paper's node counts by this factor")
+		full     = flag.Bool("full", false, "run at the paper's full scale")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		runs     = flag.Int("runs", 0, "estimations per row (0 = default)")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+	)
+	flag.Parse()
+
+	params := experiments.Scaled(*scale)
+	if *full {
+		params = experiments.Defaults()
+	}
+	params.Seed = *seed
+	if *runs > 0 {
+		params.TableRuns = *runs
+	}
+
+	tbl, _, err := experiments.TableI(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablei:", err)
+		os.Exit(1)
+	}
+	if *markdown {
+		fmt.Print(tbl.Markdown())
+	} else {
+		fmt.Print(tbl.Text())
+	}
+}

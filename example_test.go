@@ -1,0 +1,67 @@
+package p2psize_test
+
+import (
+	"fmt"
+	"log"
+
+	"p2psize"
+)
+
+// The basic loop: build an overlay, estimate its size, read the cost.
+func ExampleNewNetwork() {
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: 5000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peers: %d\n", net.Size())
+	fmt.Printf("connected: %v\n", net.IsConnected())
+	// Output:
+	// peers: 5000
+	// connected: true
+}
+
+// Aggregation converges to the exact size, at N·rounds·2 message cost.
+func ExampleNewAggregation() {
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: 2000, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := p2psize.NewAggregation(p2psize.AggregationOptions{Rounds: 50, Seed: 5})
+	size, err := est.Estimate(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimate %.0f of %d peers\n", size, net.Size())
+	fmt.Printf("messages: %d (= N·rounds·2)\n", net.Messages())
+	// Output:
+	// estimate 2000 of 2000 peers
+	// messages: 200000 (= N·rounds·2)
+}
+
+// The lastKruns heuristic smooths noisy one-shot estimators.
+func ExampleSmoothed() {
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: 3000, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := p2psize.NewSampleCollide(p2psize.SampleCollideOptions{L: 50, Seed: 7})
+	smooth := p2psize.Smoothed(raw, 10)
+	fmt.Println(smooth.Name())
+	if _, err := p2psize.RunRepeated(smooth, net, 10); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// sample&collide(l=50)/last10runs
+}
+
+// Churn operations model the paper's dynamic scenarios.
+func ExampleNetwork_LeaveFraction() {
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: 1000, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	removed := net.LeaveFraction(0.25) // catastrophic failure
+	fmt.Printf("removed %d peers, %d remain\n", removed, net.Size())
+	// Output:
+	// removed 250 peers, 750 remain
+}

@@ -1,0 +1,59 @@
+// Churn monitor: track the size of an overlay that loses a quarter of
+// its peers in two catastrophic failures and then partially recovers —
+// the paper's dynamic scenario (§IV-D) — using a continuously re-run
+// Sample&Collide estimator smoothed against a periodically restarted
+// HopsSampling poll.
+//
+// The point the comparative study makes, visible in this output: the
+// memoryless oneShot Sample&Collide reacts instantly to brutal size
+// changes, while the last10runs-smoothed estimate needs a few runs to
+// converge after each shock.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2psize"
+)
+
+func main() {
+	const n0 = 20000
+	net, err := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: n0, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	oneShot := p2psize.NewSampleCollide(p2psize.SampleCollideOptions{L: 200, Seed: 8})
+	smoothed := p2psize.Smoothed(
+		p2psize.NewSampleCollide(p2psize.SampleCollideOptions{L: 200, Seed: 9}), 10)
+
+	fmt.Printf("%6s %10s %12s %12s   event\n", "step", "true", "oneShot", "last10runs")
+	for step := 1; step <= 60; step++ {
+		event := ""
+		switch step {
+		case 20:
+			net.LeaveFraction(0.25)
+			event = "catastrophic failure: -25%"
+		case 40:
+			net.LeaveFraction(0.25)
+			event = "catastrophic failure: -25%"
+		case 50:
+			net.JoinMany(n0 / 4)
+			event = "recovery wave: +25% of original"
+		}
+		a, err := oneShot.Estimate(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := smoothed.Estimate(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if step%2 == 0 || event != "" {
+			fmt.Printf("%6d %10d %12.0f %12.0f   %s\n", step, net.Size(), a, b, event)
+		}
+	}
+	fmt.Printf("\ntotal message cost: %d (connected=%v, largest component %d of %d)\n",
+		net.Messages(), net.IsConnected(), net.LargestComponent(), net.Size())
+}

@@ -1,0 +1,284 @@
+// Package aggregation implements the gossip-based Aggregation size
+// estimator (§III-C of the comparative study; Jelasity & Montresor,
+// ICDCS'04), the representative of the epidemic class.
+//
+// The protocol averages a one-hot vector: the initiator starts with value
+// 1 and every other participant with 0. Each round ("predefined cycle"),
+// every participating node picks a uniformly random neighbor and the pair
+// swaps and averages its values (the push/pull heuristic — two messages
+// per exchange). Averaging preserves the total mass of 1, so values
+// converge to 1/N and any node can read the system size as 1/value. In a
+// static network convergence to the exact size takes a few tens of rounds
+// (the paper observes ≈40 for 100k nodes, ≈50 for 1M).
+//
+// Dynamics are handled with epochs ("tags"): a counting process is
+// restarted at a regular interval; a node reached by a message carrying a
+// new tag resets its value to 0 and joins the new process. Within one
+// epoch the protocol is conservative — departures remove mass and
+// arrivals join with 0 — so the estimate is only accurate as of the epoch
+// start, and heavy departures that fragment the overlay break the
+// averaging entirely (the paper's ≈30% threshold in the shrinking
+// scenario).
+package aggregation
+
+import (
+	"errors"
+	"fmt"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/stats"
+	"p2psize/internal/xrand"
+)
+
+// Config parameterizes the Aggregation protocol.
+type Config struct {
+	// RoundsPerEpoch is how many push-pull rounds each counting epoch
+	// runs before the estimate is read and the process restarts. The
+	// comparative study uses 50 ("in order not to make any hypothesis on
+	// the targeted system size ... this value represents the best
+	// possible algorithm's reactivity for an accurate estimation").
+	RoundsPerEpoch int
+}
+
+// Default returns the paper's dynamic-setting configuration (50 rounds).
+func Default() Config { return Config{RoundsPerEpoch: 50} }
+
+func (c *Config) validate() error {
+	if c.RoundsPerEpoch < 1 {
+		return errors.New("aggregation: RoundsPerEpoch must be >= 1")
+	}
+	return nil
+}
+
+// Protocol is a running Aggregation instance. One instance corresponds to
+// one independent "Estimation #k" curve in the paper's figures; several
+// instances can share an overlay (each owns its value vector).
+type Protocol struct {
+	cfg Config
+	rng *xrand.Rand
+
+	values    []float64 // per node ID
+	epochOf   []uint32  // epoch tag a node participates in
+	epoch     uint32
+	initiator graph.NodeID
+	order     []int32 // scratch: shuffled alive indices
+}
+
+// New builds a Protocol; it panics on invalid configuration.
+func New(cfg Config, rng *xrand.Rand) *Protocol {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		panic("aggregation: nil rng")
+	}
+	return &Protocol{cfg: cfg, rng: rng, initiator: graph.None}
+}
+
+// Name identifies the estimator in reports.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("aggregation(rounds=%d)", p.cfg.RoundsPerEpoch)
+}
+
+// Config returns the protocol configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// ErrEmptyOverlay is returned when no live peer can initiate.
+var ErrEmptyOverlay = errors.New("aggregation: empty overlay")
+
+// Initiator returns the current epoch's initiator (graph.None before the
+// first epoch).
+func (p *Protocol) Initiator() graph.NodeID { return p.initiator }
+
+// Epoch returns the current epoch tag (0 before the first epoch).
+func (p *Protocol) Epoch() uint32 { return p.epoch }
+
+// StartEpoch begins a new counting process: the epoch tag is bumped, the
+// initiator (kept from the previous epoch when still alive, otherwise
+// re-drawn uniformly) takes value 1 and everyone else will join with 0 on
+// first contact.
+func (p *Protocol) StartEpoch(net *overlay.Network) error {
+	if p.initiator == graph.None || !net.Alive(p.initiator) {
+		id, ok := net.RandomPeer(p.rng)
+		if !ok {
+			return ErrEmptyOverlay
+		}
+		p.initiator = id
+	}
+	p.grow(net.Graph().NumIDs())
+	p.epoch++
+	p.values[p.initiator] = 1
+	p.epochOf[p.initiator] = p.epoch
+	return nil
+}
+
+func (p *Protocol) grow(numIDs int) {
+	for len(p.values) < numIDs {
+		p.values = append(p.values, 0)
+		p.epochOf = append(p.epochOf, 0)
+	}
+}
+
+// participant reports whether id has joined the current epoch.
+func (p *Protocol) participant(id graph.NodeID) bool {
+	return int(id) < len(p.epochOf) && p.epochOf[id] == p.epoch
+}
+
+// value returns id's current-epoch value, joining it with 0 if needed.
+func (p *Protocol) join(id graph.NodeID) {
+	if !p.participant(id) {
+		p.values[id] = 0
+		p.epochOf[id] = p.epoch
+	}
+}
+
+// RunRound executes one synchronous push-pull cycle: every live node, in
+// fresh random order, exchanges with one uniformly random neighbor (the
+// epidemic substrate runs on all nodes — the paper prices a round at
+// exactly 2 messages per node). When either endpoint participates in the
+// current epoch, the other joins with initial value 0 ("a node which is
+// reached by a counting message with a new tag will create a 0 initial
+// value") and the pair averages its values. It panics if called before
+// StartEpoch.
+func (p *Protocol) RunRound(net *overlay.Network) {
+	if p.epoch == 0 {
+		panic("aggregation: RunRound before StartEpoch")
+	}
+	g := net.Graph()
+	p.grow(g.NumIDs())
+	n := g.NumAlive()
+	if cap(p.order) < n {
+		p.order = make([]int32, n)
+	}
+	p.order = p.order[:n]
+	for i := range p.order {
+		p.order[i] = int32(i)
+	}
+	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
+	for _, idx := range p.order {
+		// Mutating churn never happens mid-round; alive list is stable.
+		u := g.AliveAt(int(idx))
+		v, ok := g.RandomNeighbor(u, p.rng)
+		if !ok {
+			continue
+		}
+		net.Send(metrics.KindPush)
+		net.Send(metrics.KindPull)
+		if !p.participant(u) && !p.participant(v) {
+			continue
+		}
+		p.join(u)
+		p.join(v)
+		avg := (p.values[u] + p.values[v]) / 2
+		p.values[u] = avg
+		p.values[v] = avg
+	}
+}
+
+// EstimateAt returns the size estimate 1/value held at the given node,
+// and false when the node holds no usable value (not a participant, dead,
+// or value zero). One of the paper's observations is that, after
+// convergence, this is available at *every* node, with no result
+// broadcast needed.
+func (p *Protocol) EstimateAt(net *overlay.Network, id graph.NodeID) (float64, bool) {
+	if !net.Alive(id) || !p.participant(id) {
+		return 0, false
+	}
+	v := p.values[id]
+	if v <= 0 {
+		return 0, false
+	}
+	return 1 / v, true
+}
+
+// Estimate returns the current estimate at the initiator.
+func (p *Protocol) Estimate(net *overlay.Network) (float64, bool) {
+	if p.initiator == graph.None {
+		return 0, false
+	}
+	return p.EstimateAt(net, p.initiator)
+}
+
+// MassInEpoch returns the total value held by live participants. In a
+// static network this is exactly 1 (averaging conserves mass); under
+// churn the deficit measures the mass lost to departures.
+func (p *Protocol) MassInEpoch(net *overlay.Network) float64 {
+	g := net.Graph()
+	sum := 0.0
+	for i := 0; i < g.NumAlive(); i++ {
+		id := g.AliveAt(i)
+		if p.participant(id) {
+			sum += p.values[id]
+		}
+	}
+	return sum
+}
+
+// ParticipantStats returns count, mean and standard deviation of the
+// participant values — the convergence diagnostics (stddev/mean → 0).
+func (p *Protocol) ParticipantStats(net *overlay.Network) (int, float64, float64) {
+	g := net.Graph()
+	var r stats.Running
+	for i := 0; i < g.NumAlive(); i++ {
+		id := g.AliveAt(i)
+		if p.participant(id) {
+			r.Add(p.values[id])
+		}
+	}
+	return r.N(), r.Mean(), r.StdDev()
+}
+
+// Estimator adapts Protocol to the one-shot core.Estimator contract: each
+// Estimate call runs a full epoch (StartEpoch + RoundsPerEpoch rounds)
+// and reads the initiator's value.
+type Estimator struct {
+	p *Protocol
+}
+
+// NewEstimator builds the one-shot adapter.
+func NewEstimator(cfg Config, rng *xrand.Rand) *Estimator {
+	return &Estimator{p: New(cfg, rng)}
+}
+
+// Name identifies the estimator in reports.
+func (e *Estimator) Name() string { return e.p.Name() }
+
+// Protocol exposes the underlying protocol instance.
+func (e *Estimator) Protocol() *Protocol { return e.p }
+
+// Estimate runs one full epoch and returns the initiator's estimate.
+func (e *Estimator) Estimate(net *overlay.Network) (float64, error) {
+	if err := e.p.StartEpoch(net); err != nil {
+		return 0, err
+	}
+	for r := 0; r < e.p.cfg.RoundsPerEpoch; r++ {
+		e.p.RunRound(net)
+	}
+	est, ok := e.p.Estimate(net)
+	if !ok {
+		return 0, errors.New("aggregation: initiator lost during epoch")
+	}
+	return est, nil
+}
+
+// ConvergenceRound runs rounds until the relative dispersion of
+// participant values (stddev/mean) drops below eps, and returns the
+// number of rounds needed (capped at maxRounds). Used by the convergence
+// experiments and the epoch-length discussion in §IV-D.
+func ConvergenceRound(net *overlay.Network, cfg Config, rng *xrand.Rand, eps float64, maxRounds int) (int, error) {
+	p := New(cfg, rng)
+	if err := p.StartEpoch(net); err != nil {
+		return 0, err
+	}
+	for r := 1; r <= maxRounds; r++ {
+		p.RunRound(net)
+		n, mean, sd := p.ParticipantStats(net)
+		// All alive nodes participating and dispersion small: converged.
+		if n == net.Size() && mean > 0 && sd/mean < eps {
+			return r, nil
+		}
+	}
+	return maxRounds, fmt.Errorf("aggregation: no convergence within %d rounds", maxRounds)
+}

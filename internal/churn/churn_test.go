@@ -1,0 +1,184 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+func newNet(n int, seed uint64) *overlay.Network {
+	return overlay.New(graph.Heterogeneous(n, 10, xrand.New(seed)), 10, nil)
+}
+
+func runAll(s Scenario, net *overlay.Network, seed uint64) *Runner {
+	r := NewRunner(s, xrand.New(seed))
+	for step := 0; step < s.TotalSteps; step++ {
+		r.Step(net, step)
+	}
+	return r
+}
+
+func TestStaticScenario(t *testing.T) {
+	net := newNet(200, 1)
+	runAll(Static(100), net, 2)
+	if net.Size() != 200 {
+		t.Fatalf("static scenario changed size to %d", net.Size())
+	}
+}
+
+func TestGrowingReachesTarget(t *testing.T) {
+	const n0, steps = 1000, 100
+	net := newNet(n0, 3)
+	r := runAll(Growing(n0, steps, 0.5), net, 4)
+	want := int(1.5 * n0)
+	if math.Abs(float64(net.Size()-want)) > 0.02*float64(want) {
+		t.Fatalf("grew to %d, want ≈%d", net.Size(), want)
+	}
+	if r.TotalDrops() != 0 {
+		t.Fatalf("growing scenario dropped %d peers", r.TotalDrops())
+	}
+	if err := net.Graph().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShrinkingReachesTarget(t *testing.T) {
+	const n0, steps = 1000, 100
+	net := newNet(n0, 5)
+	r := runAll(Shrinking(n0, steps, 0.5), net, 6)
+	want := n0 / 2
+	if math.Abs(float64(net.Size()-want)) > 0.02*float64(want) {
+		t.Fatalf("shrank to %d, want ≈%d", net.Size(), want)
+	}
+	if r.TotalJoins() != 0 {
+		t.Fatalf("shrinking scenario joined %d peers", r.TotalJoins())
+	}
+}
+
+func TestCatastrophicShocks(t *testing.T) {
+	const n0, steps = 1000, 100
+	net := newNet(n0, 7)
+	s := Catastrophic(n0, steps)
+	r := NewRunner(s, xrand.New(8))
+	sizes := make([]int, steps)
+	for step := 0; step < steps; step++ {
+		r.Step(net, step)
+		sizes[step] = net.Size()
+	}
+	// After the first shock (step 30): ≈750. After the second (step 60):
+	// ≈562. After the recovery (step 80): ≈812.
+	if got := sizes[35]; math.Abs(float64(got)-750) > 20 {
+		t.Fatalf("after first shock size = %d, want ≈750", got)
+	}
+	if got := sizes[65]; math.Abs(float64(got)-562) > 20 {
+		t.Fatalf("after second shock size = %d, want ≈562", got)
+	}
+	if got := sizes[85]; math.Abs(float64(got)-812) > 25 {
+		t.Fatalf("after recovery size = %d, want ≈812", got)
+	}
+}
+
+func TestAggregationCatastrophicSchedule(t *testing.T) {
+	s := AggregationCatastrophic(100000, 10000)
+	if len(s.Events) != 3 {
+		t.Fatalf("events = %v", s.Events)
+	}
+	if s.Events[0].Step != 100 || s.Events[1].Step != 500 || s.Events[2].Step != 700 {
+		t.Fatalf("steps = %d,%d,%d", s.Events[0].Step, s.Events[1].Step, s.Events[2].Step)
+	}
+	if s.Events[2].AddCount != 25000 {
+		t.Fatalf("AddCount = %d", s.Events[2].AddCount)
+	}
+}
+
+func TestEventsSortedAndApplied(t *testing.T) {
+	net := newNet(100, 9)
+	s := Scenario{
+		Name:       "outoforder",
+		TotalSteps: 10,
+		Events: []Event{
+			{Step: 5, AddCount: 10},
+			{Step: 1, AddCount: 5},
+		},
+	}
+	r := NewRunner(s, xrand.New(10))
+	r.Step(net, 0)
+	if net.Size() != 100 {
+		t.Fatalf("size after step 0 = %d", net.Size())
+	}
+	r.Step(net, 1)
+	if net.Size() != 105 {
+		t.Fatalf("size after step 1 = %d", net.Size())
+	}
+	for step := 2; step <= 5; step++ {
+		r.Step(net, step)
+	}
+	if net.Size() != 115 {
+		t.Fatalf("size after step 5 = %d", net.Size())
+	}
+}
+
+func TestMissedEventsCatchUp(t *testing.T) {
+	// If the caller skips steps, pending events still fire.
+	net := newNet(100, 11)
+	s := Scenario{TotalSteps: 100, Events: []Event{{Step: 3, AddCount: 7}}}
+	r := NewRunner(s, xrand.New(12))
+	r.Step(net, 50)
+	if net.Size() != 107 {
+		t.Fatalf("size = %d, want 107", net.Size())
+	}
+}
+
+func TestFractionalRatesAccumulate(t *testing.T) {
+	net := newNet(100, 13)
+	s := Scenario{TotalSteps: 40, ArrivalsPerStep: 0.25}
+	r := NewRunner(s, xrand.New(14))
+	for step := 0; step < 40; step++ {
+		r.Step(net, step)
+	}
+	if net.Size() != 110 {
+		t.Fatalf("size = %d, want 110 (0.25 × 40 arrivals)", net.Size())
+	}
+}
+
+func TestShrinkNeverBelowOne(t *testing.T) {
+	net := newNet(10, 15)
+	s := Scenario{TotalSteps: 5, DeparturesPerStep: 100}
+	r := NewRunner(s, xrand.New(16))
+	for step := 0; step < 5; step++ {
+		r.Step(net, step)
+	}
+	if net.Size() < 1 {
+		t.Fatalf("size = %d, runner must keep at least one peer", net.Size())
+	}
+}
+
+func TestRepairFlagUsesRepairingLeave(t *testing.T) {
+	// With repair, average degree should stay near its starting value even
+	// after heavy departures; without, it must drop.
+	const n0 = 2000
+	deg := func(repair bool) float64 {
+		net := newNet(n0, 17)
+		s := Shrinking(n0, 100, 0.5)
+		s.Repair = repair
+		runAll(s, net, 18)
+		return graph.AvgDegree(net.Graph())
+	}
+	without := deg(false)
+	with := deg(true)
+	if with <= without {
+		t.Fatalf("repair did not help: avg degree %g (repair) vs %g (none)", with, without)
+	}
+}
+
+func TestStepReturnsNetChange(t *testing.T) {
+	net := newNet(100, 19)
+	s := Scenario{TotalSteps: 1, Events: []Event{{Step: 0, AddCount: 3}}}
+	r := NewRunner(s, xrand.New(20))
+	if d := r.Step(net, 0); d != 3 {
+		t.Fatalf("Step delta = %d, want 3", d)
+	}
+}

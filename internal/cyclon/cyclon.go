@@ -1,0 +1,338 @@
+// Package cyclon implements the CYCLON membership-management protocol
+// (Voulgaris, Gavidia & van Steen — reference [19] of the comparative
+// study), the gossip-based peer-sampling service the paper points at for
+// actually building and maintaining its random overlays ("We do not
+// consider in this paper the actual construction of such graphs but
+// several approaches exist to build such peer to peer overlay in
+// practice [10]").
+//
+// Every node keeps a small partial view of (neighbor, age) entries. Each
+// round ("enhanced shuffling"), a node increments its entries' ages,
+// picks its OLDEST neighbor q, sends it a random subset of its view with
+// a fresh self-pointer, and q answers with a random subset of its own
+// view; both sides merge what they received, preferring fresh entries
+// and discarding self-pointers and duplicates. Shuffling keeps the
+// overlay connected, in-degree balanced, and — crucially for churn —
+// flushes dead peers out of views because their entries age until they
+// are chosen for a shuffle, fail, and are dropped.
+//
+// The package maintains its own directed views and can export the
+// induced undirected graph as an overlay for the size estimators,
+// closing the loop: estimators running on a CYCLON-maintained overlay
+// keep working through churn that would fragment the paper's
+// no-repair graphs (see the extension experiment and its benchmark).
+package cyclon
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+// Config parameterizes the protocol.
+type Config struct {
+	// ViewSize is the partial-view capacity c (CYCLON paper: 20-50 for
+	// large networks; the comparative study's overlays average ~7 links,
+	// so the default is 8).
+	ViewSize int
+	// ShuffleLen is how many entries travel per shuffle (<= ViewSize).
+	ShuffleLen int
+}
+
+// Default returns ViewSize 8, ShuffleLen 4.
+func Default() Config { return Config{ViewSize: 8, ShuffleLen: 4} }
+
+func (c *Config) validate() error {
+	if c.ViewSize < 1 {
+		return errors.New("cyclon: ViewSize must be >= 1")
+	}
+	if c.ShuffleLen < 1 || c.ShuffleLen > c.ViewSize {
+		return errors.New("cyclon: ShuffleLen must be in [1, ViewSize]")
+	}
+	return nil
+}
+
+type entry struct {
+	node graph.NodeID
+	age  int32
+}
+
+// Protocol is a running CYCLON instance over a set of peers.
+type Protocol struct {
+	cfg     Config
+	rng     *xrand.Rand
+	views   map[graph.NodeID][]entry
+	counter *metrics.Counter
+}
+
+// New builds a protocol instance; counter may be nil.
+func New(cfg Config, rng *xrand.Rand, counter *metrics.Counter) *Protocol {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		panic("cyclon: nil rng")
+	}
+	if counter == nil {
+		counter = &metrics.Counter{}
+	}
+	return &Protocol{
+		cfg:     cfg,
+		rng:     rng,
+		views:   make(map[graph.NodeID][]entry),
+		counter: counter,
+	}
+}
+
+// Counter returns the message meter (shuffle request/reply pairs).
+func (p *Protocol) Counter() *metrics.Counter { return p.counter }
+
+// Size returns the number of participating peers.
+func (p *Protocol) Size() int { return len(p.views) }
+
+// Bootstrap populates views from an existing overlay graph: each node's
+// initial view is a random subset of its graph neighbors (capped at
+// ViewSize), age zero.
+func (p *Protocol) Bootstrap(g *graph.Graph) {
+	g.ForEachAlive(func(id graph.NodeID) {
+		nbrs := g.Neighbors(id)
+		view := make([]entry, 0, p.cfg.ViewSize)
+		order := p.rng.Perm(len(nbrs))
+		for _, i := range order {
+			if len(view) == p.cfg.ViewSize {
+				break
+			}
+			view = append(view, entry{node: nbrs[i]})
+		}
+		p.views[id] = view
+	})
+}
+
+// Join adds a fresh peer whose view is seeded with up to ViewSize random
+// existing participants (the introducer mechanism). Joining twice
+// panics.
+func (p *Protocol) Join(id graph.NodeID) {
+	if _, dup := p.views[id]; dup {
+		panic(fmt.Sprintf("cyclon: node %d already participates", id))
+	}
+	view := make([]entry, 0, p.cfg.ViewSize)
+	for other := range p.views {
+		if len(view) == p.cfg.ViewSize {
+			break
+		}
+		view = append(view, entry{node: other})
+	}
+	p.views[id] = view
+}
+
+// Leave removes a peer silently — exactly how real churn behaves; other
+// views still hold stale pointers that shuffling will discover and drop.
+func (p *Protocol) Leave(id graph.NodeID) {
+	if _, ok := p.views[id]; !ok {
+		panic(fmt.Sprintf("cyclon: node %d does not participate", id))
+	}
+	delete(p.views, id)
+}
+
+// Alive reports whether the peer participates.
+func (p *Protocol) Alive(id graph.NodeID) bool {
+	_, ok := p.views[id]
+	return ok
+}
+
+// View returns a copy of a peer's current neighbor list.
+func (p *Protocol) View(id graph.NodeID) []graph.NodeID {
+	view := p.views[id]
+	out := make([]graph.NodeID, len(view))
+	for i, e := range view {
+		out[i] = e.node
+	}
+	return out
+}
+
+// RunRound performs one shuffle per participating peer, in random order.
+// Each successful shuffle costs one request and one reply message; a
+// shuffle aimed at a dead peer costs the request only and evicts the
+// stale entry.
+func (p *Protocol) RunRound() {
+	ids := make([]graph.NodeID, 0, len(p.views))
+	for id := range p.views {
+		ids = append(ids, id)
+	}
+	// Map iteration order is nondeterministic; determinism comes from
+	// sorting into a stable order and then shuffling with the seeded rng.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		if _, still := p.views[id]; still {
+			p.shuffle(id)
+		}
+	}
+}
+
+// shuffle runs one exchange initiated by id.
+func (p *Protocol) shuffle(id graph.NodeID) {
+	view := p.views[id]
+	if len(view) == 0 {
+		return
+	}
+	// 1. Increase ages; pick the oldest neighbor q.
+	oldest := 0
+	for i := range view {
+		view[i].age++
+		if view[i].age > view[oldest].age {
+			oldest = i
+		}
+	}
+	q := view[oldest].node
+	// Remove q from the view (it is being contacted).
+	view[oldest] = view[len(view)-1]
+	view = view[:len(view)-1]
+	p.views[id] = view
+
+	p.counter.Inc(metrics.KindControl) // shuffle request
+	qView, qAlive := p.views[q]
+	if !qAlive {
+		// Dead neighbor discovered: the request times out and the stale
+		// entry stays dropped. This is CYCLON's churn-flushing mechanism.
+		return
+	}
+	p.counter.Inc(metrics.KindControl) // shuffle reply
+
+	// 2. Build the outgoing subset: fresh self-pointer + up to
+	// ShuffleLen-1 random entries from the (q-less) view.
+	out := []entry{{node: id, age: 0}}
+	idxs := p.rng.Perm(len(view))
+	for _, i := range idxs {
+		if len(out) == p.cfg.ShuffleLen {
+			break
+		}
+		out = append(out, view[i])
+	}
+	// 3. q answers with a random subset of its own view.
+	back := make([]entry, 0, p.cfg.ShuffleLen)
+	qIdxs := p.rng.Perm(len(qView))
+	for _, i := range qIdxs {
+		if len(back) == p.cfg.ShuffleLen {
+			break
+		}
+		back = append(back, qView[i])
+	}
+	// 4. Both merge what they received.
+	p.views[q] = p.merge(q, qView, out, back)
+	p.views[id] = p.merge(id, p.views[id], back, out)
+}
+
+// merge folds received entries into view for owner: self-pointers and
+// duplicates are dropped; if the view overflows, entries that were sent
+// away (sent) are evicted first, then the oldest.
+func (p *Protocol) merge(owner graph.NodeID, view, received, sent []entry) []entry {
+	have := make(map[graph.NodeID]bool, len(view))
+	for _, e := range view {
+		have[e.node] = true
+	}
+	for _, e := range received {
+		if e.node == owner || have[e.node] {
+			continue
+		}
+		if len(view) < p.cfg.ViewSize {
+			view = append(view, e)
+			have[e.node] = true
+			continue
+		}
+		// Overflow: replace an entry that was shipped out, else the
+		// oldest entry.
+		victim := -1
+		for i := range view {
+			for _, s := range sent {
+				if view[i].node == s.node {
+					victim = i
+					break
+				}
+			}
+			if victim >= 0 {
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+			for i := range view {
+				if view[i].age > view[victim].age {
+					victim = i
+				}
+			}
+		}
+		delete(have, view[victim].node)
+		view[victim] = e
+		have[e.node] = true
+	}
+	return view
+}
+
+// ExportGraph materializes the undirected overlay induced by the current
+// views (an edge per view entry pointing at a live peer) as a
+// graph.Graph, preserving node IDs up to maxID. Estimators can run on
+// the result exactly as on the paper's static graphs.
+func (p *Protocol) ExportGraph(maxID int) *graph.Graph {
+	g := graph.NewWithNodes(maxID)
+	for id := range p.views {
+		if int(id) >= maxID {
+			panic(fmt.Sprintf("cyclon: node %d beyond maxID %d", id, maxID))
+		}
+	}
+	for id := graph.NodeID(0); int(id) < maxID; id++ {
+		if !p.Alive(id) {
+			g.RemoveNode(id)
+		}
+	}
+	for id, view := range p.views {
+		for _, e := range view {
+			if p.Alive(e.node) {
+				g.AddEdge(id, e.node)
+			}
+		}
+	}
+	return g
+}
+
+// ExportOverlay wraps ExportGraph into an overlay.Network sharing the
+// protocol's message counter, so estimation overhead and maintenance
+// overhead land in one budget.
+func (p *Protocol) ExportOverlay(maxID, maxDeg int) *overlay.Network {
+	return overlay.New(p.ExportGraph(maxID), maxDeg, p.counter)
+}
+
+// StaleFraction returns the fraction of view entries pointing at dead
+// peers — the health metric shuffling drives toward zero after churn.
+func (p *Protocol) StaleFraction() float64 {
+	total, stale := 0, 0
+	for _, view := range p.views {
+		for _, e := range view {
+			total++
+			if !p.Alive(e.node) {
+				stale++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(stale) / float64(total)
+}
+
+// AvgViewSize returns the mean view occupancy.
+func (p *Protocol) AvgViewSize() float64 {
+	if len(p.views) == 0 {
+		return 0
+	}
+	total := 0
+	for _, view := range p.views {
+		total += len(view)
+	}
+	return float64(total) / float64(len(p.views))
+}

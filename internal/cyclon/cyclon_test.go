@@ -1,0 +1,262 @@
+package cyclon
+
+import (
+	"testing"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/xrand"
+)
+
+func bootstrapped(n int, seed uint64) *Protocol {
+	g := graph.Heterogeneous(n, 10, xrand.New(seed))
+	p := New(Default(), xrand.New(seed+1), nil)
+	p.Bootstrap(g)
+	return p
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{ViewSize: 0, ShuffleLen: 1},
+		{ViewSize: 4, ShuffleLen: 0},
+		{ViewSize: 4, ShuffleLen: 5},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg, xrand.New(1), nil)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil rng did not panic")
+			}
+		}()
+		New(Default(), nil, nil)
+	}()
+}
+
+func TestBootstrapViews(t *testing.T) {
+	p := bootstrapped(500, 1)
+	if p.Size() != 500 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if avg := p.AvgViewSize(); avg < 4 || avg > 8 {
+		t.Fatalf("AvgViewSize = %.1f", avg)
+	}
+	if p.StaleFraction() != 0 {
+		t.Fatal("fresh bootstrap has stale entries")
+	}
+}
+
+func TestViewCapacityInvariant(t *testing.T) {
+	p := bootstrapped(300, 2)
+	for r := 0; r < 30; r++ {
+		p.RunRound()
+	}
+	for id := range p.views {
+		view := p.views[id]
+		if len(view) > p.cfg.ViewSize {
+			t.Fatalf("view of %d has %d entries, cap %d", id, len(view), p.cfg.ViewSize)
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, e := range view {
+			if e.node == id {
+				t.Fatalf("self-pointer in view of %d", id)
+			}
+			if seen[e.node] {
+				t.Fatalf("duplicate %d in view of %d", e.node, id)
+			}
+			seen[e.node] = true
+		}
+	}
+}
+
+func TestShufflingPreservesConnectivity(t *testing.T) {
+	p := bootstrapped(1000, 3)
+	for r := 0; r < 50; r++ {
+		p.RunRound()
+	}
+	g := p.ExportGraph(1000)
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if lc := graph.LargestComponent(g); lc < 990 {
+		t.Fatalf("largest component %d of 1000 after 50 rounds", lc)
+	}
+}
+
+func TestChurnFlushesStaleEntries(t *testing.T) {
+	p := bootstrapped(1000, 4)
+	rng := xrand.New(5)
+	// Kill 30% of peers silently.
+	ids := make([]graph.NodeID, 0, p.Size())
+	for id := range p.views {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids[:300] {
+		p.Leave(id)
+	}
+	before := p.StaleFraction()
+	if before == 0 {
+		t.Fatal("no stale entries after churn — test is vacuous")
+	}
+	for r := 0; r < 40; r++ {
+		p.RunRound()
+	}
+	after := p.StaleFraction()
+	if after > before/4 {
+		t.Fatalf("stale fraction %.3f -> %.3f: shuffling did not flush dead peers", before, after)
+	}
+	// The survivors stay connected — the contrast with the paper's
+	// no-repair churn rule.
+	g := p.ExportGraph(1000)
+	if lc := graph.LargestComponent(g); lc < 680 {
+		t.Fatalf("largest component %d of 700 survivors", lc)
+	}
+}
+
+func TestJoinSeedsView(t *testing.T) {
+	p := bootstrapped(100, 6)
+	g := graph.NewWithNodes(101) // IDs 0..100
+	_ = g
+	newID := graph.NodeID(100)
+	p.Join(newID)
+	if !p.Alive(newID) {
+		t.Fatal("joined peer not alive")
+	}
+	if len(p.View(newID)) == 0 {
+		t.Fatal("joined peer has empty view")
+	}
+	// After some rounds the newcomer should appear in others' views
+	// (in-degree balancing).
+	for r := 0; r < 20; r++ {
+		p.RunRound()
+	}
+	indeg := 0
+	for id := range p.views {
+		if id == newID {
+			continue
+		}
+		for _, e := range p.views[id] {
+			if e.node == newID {
+				indeg++
+			}
+		}
+	}
+	if indeg == 0 {
+		t.Fatal("newcomer never entered any view")
+	}
+}
+
+func TestJoinLeavePanics(t *testing.T) {
+	p := bootstrapped(10, 7)
+	id := graph.NodeID(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double join did not panic")
+			}
+		}()
+		p.Join(id)
+	}()
+	p.Leave(id)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double leave did not panic")
+			}
+		}()
+		p.Leave(id)
+	}()
+}
+
+func TestMessageAccounting(t *testing.T) {
+	p := bootstrapped(200, 8)
+	p.RunRound()
+	total := p.Counter().Total()
+	// One request per peer with a nonempty view, one reply per live
+	// target: at most 2 per peer.
+	if total == 0 || total > 2*200 {
+		t.Fatalf("round cost = %d messages", total)
+	}
+}
+
+func TestExportOverlaySharesCounter(t *testing.T) {
+	p := bootstrapped(300, 9)
+	for r := 0; r < 10; r++ {
+		p.RunRound()
+	}
+	net := p.ExportOverlay(300, 10)
+	maintenance := net.Counter().Total()
+	if maintenance == 0 {
+		t.Fatal("maintenance cost not visible through exported overlay")
+	}
+	// An estimator on the exported overlay adds to the same budget.
+	e := samplecollide.New(samplecollide.Config{T: 10, L: 20}, xrand.New(10))
+	if _, err := e.Estimate(net); err != nil {
+		t.Fatal(err)
+	}
+	if net.Counter().Total() <= maintenance {
+		t.Fatal("estimation cost not accounted")
+	}
+}
+
+func TestEstimationOnCyclonOverlayUnderChurn(t *testing.T) {
+	// End-to-end: a CYCLON-maintained overlay keeps estimators accurate
+	// through churn.
+	p := bootstrapped(2000, 11)
+	rng := xrand.New(12)
+	ids := make([]graph.NodeID, 0, p.Size())
+	for id := range p.views {
+		ids = append(ids, id)
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids[:800] { // -40%
+		p.Leave(id)
+	}
+	for r := 0; r < 30; r++ {
+		p.RunRound()
+	}
+	net := p.ExportOverlay(2000, 10)
+	e := samplecollide.New(samplecollide.Config{T: 10, L: 50}, xrand.New(13))
+	sum := 0.0
+	for i := 0; i < 5; i++ {
+		est, err := e.Estimate(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / 5
+	if mean < 0.7*1200 || mean > 1.45*1200 {
+		t.Fatalf("estimate %.0f on 1200 survivors", mean)
+	}
+}
+
+func TestExportGraphBeyondMaxIDPanics(t *testing.T) {
+	p := bootstrapped(10, 14)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExportGraph with small maxID did not panic")
+		}
+	}()
+	p.ExportGraph(5)
+}
+
+func TestDegreeStaysBalanced(t *testing.T) {
+	p := bootstrapped(500, 15)
+	for r := 0; r < 40; r++ {
+		p.RunRound()
+	}
+	g := p.ExportGraph(500)
+	if max := graph.MaxDegree(g); max > 4*p.cfg.ViewSize {
+		t.Fatalf("max undirected degree %d for view size %d", max, p.cfg.ViewSize)
+	}
+}

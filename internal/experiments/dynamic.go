@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/churn"
+	"p2psize/internal/core"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/metrics"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	register("fig09", fig09)
+	register("fig10", fig10)
+	register("fig11", fig11)
+	register("fig12", fig12)
+	register("fig13", fig13)
+	register("fig14", fig14)
+	register("fig15", fig15)
+	register("fig16", fig16)
+	register("fig17", fig17)
+}
+
+// dynamicSeries converts a DynamicResult into the paper's dynamic-figure
+// layout: the real size curve plus one curve per estimation instance.
+func dynamicSeries(res *core.DynamicResult) []*metrics.Series {
+	real := &metrics.Series{Name: "Real network size"}
+	for i := range res.Steps {
+		real.Append(res.Steps[i], res.TrueSizes[i])
+	}
+	out := []*metrics.Series{real}
+	for k := range res.Estimates {
+		s := &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)}
+		for i := range res.Steps {
+			s.Append(res.Steps[i], res.Estimates[k][i])
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func noteTracking(fig *Figure, res *core.DynamicResult) {
+	for k := range res.Estimates {
+		te := res.TrackingError(k)
+		if math.IsNaN(te) {
+			fig.AddNote("estimation #%d produced no usable estimates", k+1)
+			continue
+		}
+		fig.AddNote("estimation #%d mean tracking error %.1f%% (%d failures)",
+			k+1, te, res.Failures[k])
+	}
+}
+
+// scDynamic is the shared body of Figs 9-11: three concurrent
+// Sample&Collide processes (oneShot, l=200) with one estimate per churn
+// step.
+func scDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(p.N100k, p, stream)
+	instances := make([]core.Estimator, 3)
+	for k := range instances {
+		instances[k] = samplecollide.New(samplecollide.Config{T: 10, L: 200},
+			xrand.New(p.Seed+stream+10+uint64(k)))
+	}
+	res, err := core.RunDynamic(instances, net, core.DynamicConfig{
+		Scenario:      scenario,
+		EstimateEvery: 1,
+	}, xrand.New(p.Seed+stream+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: "Number of estimations", YLabel: "Estimated size"}
+	fig.Series = dynamicSeries(res)
+	noteTracking(fig, res)
+	return fig, nil
+}
+
+func fig09(p Params) (*Figure, error) {
+	return scDynamic("fig09",
+		"Sample&Collide: oneShot heuristic, 100,000 node network, catastrophic failures",
+		churn.Catastrophic(p.N100k, p.SCRuns), p, 0x0900)
+}
+
+func fig10(p Params) (*Figure, error) {
+	return scDynamic("fig10",
+		"Sample&Collide: oneShot, 100,000 node network, growing network",
+		churn.Growing(p.N100k, p.SCRuns, 0.5), p, 0x0a00)
+}
+
+func fig11(p Params) (*Figure, error) {
+	return scDynamic("fig11",
+		"Sample&Collide: oneShot, 100,000 node network, shrinking network",
+		churn.Shrinking(p.N100k, p.SCRuns, 0.5), p, 0x0b00)
+}
+
+// hopsDynamic is the shared body of Figs 12-14: three concurrent
+// HopsSampling processes restarted every few time units, each smoothed
+// with last10runs.
+func hopsDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(p.N100k, p, stream)
+	instances := make([]core.Estimator, 3)
+	for k := range instances {
+		instances[k] = hopssampling.New(hopssampling.Default(),
+			xrand.New(p.Seed+stream+10+uint64(k)))
+	}
+	res, err := core.RunDynamic(instances, net, core.DynamicConfig{
+		Scenario:      scenario,
+		EstimateEvery: max(1, p.HopsHorizon/100),
+		SmoothLastK:   core.LastK,
+	}, xrand.New(p.Seed+stream+1))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: "Time", YLabel: "Size"}
+	fig.Series = dynamicSeries(res)
+	noteTracking(fig, res)
+	return fig, nil
+}
+
+func fig12(p Params) (*Figure, error) {
+	return hopsDynamic("fig12",
+		"HopsSampling: Last10runs heuristic, 100,000 node network, catastrophic failures",
+		churn.Catastrophic(p.N100k, p.HopsHorizon), p, 0x0c00)
+}
+
+func fig13(p Params) (*Figure, error) {
+	return hopsDynamic("fig13",
+		"HopsSampling: Last10runs heuristic, 100,000 node network, growing network",
+		churn.Growing(p.N100k, p.HopsHorizon, 0.5), p, 0x0d00)
+}
+
+func fig14(p Params) (*Figure, error) {
+	return hopsDynamic("fig14",
+		"HopsSampling: Last10runs heuristic, 100,000 node network, shrinking network",
+		churn.Shrinking(p.N100k, p.HopsHorizon, 0.5), p, 0x0e00)
+}
+
+// aggDynamic is the shared body of Figs 15-17: three concurrent epoch-
+// restarted Aggregation processes; churn advances every round; estimates
+// are read at each epoch boundary (every EpochLen rounds).
+func aggDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(p.N100k, p, stream)
+	const instances = 3
+	protos := make([]*aggregation.Protocol, instances)
+	for k := range protos {
+		protos[k] = aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+			xrand.New(p.Seed+stream+10+uint64(k)))
+		if err := protos[k].StartEpoch(net); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	runner := churn.NewRunner(scenario, xrand.New(p.Seed+stream+1))
+	real := &metrics.Series{Name: "Real size"}
+	estSeries := make([]*metrics.Series, instances)
+	failures := make([]int, instances)
+	var trackErr [instances]struct {
+		sum float64
+		n   int
+	}
+	for k := range estSeries {
+		estSeries[k] = &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)}
+	}
+	for round := 0; round < scenario.TotalSteps; round++ {
+		runner.Step(net, round)
+		if net.Size() == 0 {
+			break
+		}
+		for _, proto := range protos {
+			proto.RunRound(net)
+		}
+		// The paper's figures draw the real size continuously but read
+		// estimates only at epoch boundaries; shocks between epochs must
+		// stay visible in the real curve.
+		real.Append(float64(round+1), float64(net.Size()))
+		if (round+1)%p.EpochLen != 0 {
+			continue
+		}
+		x := float64(round + 1)
+		truth := float64(net.Size())
+		for k, proto := range protos {
+			est, ok := proto.Estimate(net)
+			if !ok {
+				failures[k]++
+				estSeries[k].Append(x, math.NaN())
+			} else {
+				estSeries[k].Append(x, est)
+				if truth > 0 {
+					trackErr[k].sum += math.Abs(est/truth-1) * 100
+					trackErr[k].n++
+				}
+			}
+			// Restart: new tag, values reset, estimate of the finished
+			// epoch was just read.
+			if err := proto.StartEpoch(net); err != nil {
+				return nil, fmt.Errorf("%s: %w", id, err)
+			}
+		}
+	}
+	fig := &Figure{ID: id, Title: title, XLabel: "#Round", YLabel: "Estimated Size"}
+	fig.Series = append([]*metrics.Series{real}, estSeries...)
+	for k := 0; k < instances; k++ {
+		if trackErr[k].n == 0 {
+			fig.AddNote("estimation #%d produced no usable estimates", k+1)
+			continue
+		}
+		fig.AddNote("estimation #%d mean tracking error %.1f%% (%d lost epochs)",
+			k+1, trackErr[k].sum/float64(trackErr[k].n), failures[k])
+	}
+	return fig, nil
+}
+
+func fig15(p Params) (*Figure, error) {
+	return aggDynamic("fig15",
+		"Aggregation: Reaction under failures, -25% of nodes at 1% and 5% of horizon, +25% at 7%",
+		churn.AggregationCatastrophic(p.N100k, p.AggHorizon), p, 0x0f00)
+}
+
+func fig16(p Params) (*Figure, error) {
+	return aggDynamic("fig16",
+		"Aggregation: Growing network, 100,000 node network",
+		churn.Growing(p.N100k, p.AggHorizon, 0.5), p, 0x1000)
+}
+
+func fig17(p Params) (*Figure, error) {
+	return aggDynamic("fig17",
+		"Aggregation: Shrinking network, 100,000 node network",
+		churn.Shrinking(p.N100k, p.AggHorizon, 0.5), p, 0x1100)
+}

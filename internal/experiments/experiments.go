@@ -1,0 +1,164 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (§IV): the same workloads, the same
+// parameters, the same output series. Each experiment returns a Figure
+// whose series can be written as gnuplot .dat, CSV, or ASCII charts.
+//
+// Every experiment takes a Params value so the paper-scale runs (100,000
+// and 1,000,000 nodes) and laptop-scale runs (for tests and benchmarks)
+// share one code path: Defaults() reproduces the paper's setting,
+// Scaled(k) divides the node counts (and the very long aggregation
+// horizon) by k while keeping all protocol parameters untouched.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+// Params sets the workload sizes of the evaluation. Protocol parameters
+// (T, l, gossipTo, rounds, ...) are fixed by the paper and live in the
+// individual experiments.
+type Params struct {
+	// Seed drives all randomness; equal Params give identical output.
+	Seed uint64
+	// N100k is the "100,000 node network" size.
+	N100k int
+	// N1M is the "1,000,000 node network" size.
+	N1M int
+	// MaxDeg is the heterogeneous graph's degree cap (paper: 10).
+	MaxDeg int
+	// SCRuns is the estimation count of Fig 1 (and the dynamic S&C figs).
+	SCRuns int
+	// SCRuns1M is the estimation count of Fig 2.
+	SCRuns1M int
+	// HopsRuns is the estimation count of Fig 3.
+	HopsRuns int
+	// HopsRuns1M is the estimation count of Fig 4.
+	HopsRuns1M int
+	// AggStaticRounds is the x-range of Figs 5 and 6.
+	AggStaticRounds int
+	// Fig18Runs is the estimation count of Fig 18.
+	Fig18Runs int
+	// HopsHorizon is the dynamic HopsSampling time range (Figs 12-14).
+	HopsHorizon int
+	// AggHorizon is the dynamic Aggregation round range (Figs 15-17).
+	AggHorizon int
+	// EpochLen is the rounds-per-epoch of dynamic Aggregation (paper: 50).
+	EpochLen int
+	// TableRuns is the number of estimations averaged per Table I row.
+	TableRuns int
+}
+
+// Defaults returns the paper-scale parameters.
+func Defaults() Params {
+	return Params{
+		Seed:            1,
+		N100k:           100000,
+		N1M:             1000000,
+		MaxDeg:          10,
+		SCRuns:          100,
+		SCRuns1M:        18,
+		HopsRuns:        100,
+		HopsRuns1M:      20,
+		AggStaticRounds: 100,
+		Fig18Runs:       50,
+		HopsHorizon:     1000,
+		AggHorizon:      10000,
+		EpochLen:        50,
+		TableRuns:       20,
+	}
+}
+
+// Scaled returns Defaults with node counts divided by k (floors applied
+// so experiments stay meaningful) and the aggregation horizon shortened
+// proportionally. Estimation counts and protocol parameters are kept.
+func Scaled(k int) Params {
+	p := Defaults()
+	if k <= 1 {
+		return p
+	}
+	p.N100k = max(1000, p.N100k/k)
+	p.N1M = max(2000, p.N1M/k)
+	p.AggHorizon = max(20*p.EpochLen, p.AggHorizon/k)
+	p.HopsHorizon = max(100, p.HopsHorizon)
+	return p
+}
+
+// Figure is one reproduced table or figure: metadata plus the plotted
+// series, ready for the plot package.
+type Figure struct {
+	// ID is the registry key, e.g. "fig05".
+	ID string
+	// Title restates the paper's caption.
+	Title string
+	// XLabel / YLabel name the axes.
+	XLabel, YLabel string
+	// LogLog marks Fig 7's log-scale axes.
+	LogLog bool
+	// Series are the plotted curves.
+	Series []*metrics.Series
+	// Notes carry measured summaries for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddNote appends a formatted note line.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Runner produces one Figure from Params.
+type Runner func(Params) (*Figure, error)
+
+// registry maps experiment IDs to runners; populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the runner for id (nil, false if unknown).
+func Get(id string) (Runner, bool) {
+	r, ok := registry[id]
+	return r, ok
+}
+
+// Run looks up and runs one experiment.
+func Run(id string, p Params) (*Figure, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(p)
+}
+
+// hetNet builds the paper's default test overlay: heterogeneous random
+// graph with the given size, degree cap MaxDeg, on a seeded stream.
+func hetNet(n int, p Params, stream uint64) *overlay.Network {
+	rng := xrand.New(p.Seed + stream)
+	return overlay.New(graph.Heterogeneous(n, p.MaxDeg, rng), p.MaxDeg, nil)
+}
+
+// scaleFreeNet builds the Fig 7/8 topology: Barabási–Albert with m = 3.
+func scaleFreeNet(n int, p Params, stream uint64) *overlay.Network {
+	rng := xrand.New(p.Seed + stream)
+	return overlay.New(graph.BarabasiAlbert(n, 3, rng), n, nil)
+}

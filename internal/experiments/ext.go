@@ -1,0 +1,230 @@
+package experiments
+
+// Extension experiments: not figures of the paper, but runnable studies
+// of the claims the paper makes in passing (§II's class comparisons, §V's
+// delay conjecture) and of the substrates it defers to ([10]/[19]'s
+// gossip membership management). Each gets an "ext-" registry id so
+// cmd/figures regenerates them alongside the paper's figures.
+
+import (
+	"fmt"
+	"math"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/core"
+	"p2psize/internal/cyclon"
+	"p2psize/internal/graph"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/idspace"
+	"p2psize/internal/latency"
+	"p2psize/internal/metrics"
+	"p2psize/internal/polling"
+	"p2psize/internal/randomtour"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	register("ext-walks", extWalks)
+	register("ext-classes", extClasses)
+	register("ext-delay", extDelay)
+	register("ext-cyclon", extCyclon)
+}
+
+// extWalks reproduces the background claim (§II) that made the paper pick
+// Sample&Collide as the random-walk candidate: "the overhead of the
+// Sample&Collide algorithm is much lower than the one of Random Tour".
+// It sweeps the overlay size and plots messages per estimation for both:
+// Random Tour costs Θ(N·d̄/deg i) per tour while Sample&Collide costs
+// Θ(√(2lN)·T·d̄), so the gap widens with N.
+func extWalks(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-walks",
+		Title:  "Random Tour vs Sample&Collide: overhead growth with network size",
+		XLabel: "Network size",
+		YLabel: "Messages per estimation",
+	}
+	rt := &metrics.Series{Name: "Random Tour (10 tours)"}
+	sc := &metrics.Series{Name: "Sample&Collide (l=200)"}
+	base := max(500, p.N100k/16)
+	// Single tours have enormous cost variance (the return time scales
+	// with 2|E|/deg(initiator) and the initiator degree varies 1..10),
+	// so costs are averaged over several estimations per size.
+	const runs = 8
+	for _, n := range []int{base, 2 * base, 4 * base, 8 * base} {
+		net := hetNet(n, p, 0x3000+uint64(n))
+
+		snap := net.Counter().Snapshot()
+		tour := randomtour.New(randomtour.Config{Tours: 10}, xrand.New(p.Seed+0x3001))
+		for i := 0; i < runs; i++ {
+			if _, err := tour.Estimate(net); err != nil {
+				return nil, fmt.Errorf("ext-walks random tour: %w", err)
+			}
+		}
+		rtCost := float64(net.Counter().DiffTotal(snap)) / runs
+		rt.Append(float64(n), rtCost)
+
+		snap = net.Counter().Snapshot()
+		scEst := samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x3002))
+		for i := 0; i < runs; i++ {
+			if _, err := scEst.Estimate(net); err != nil {
+				return nil, fmt.Errorf("ext-walks sample&collide: %w", err)
+			}
+		}
+		scCost := float64(net.Counter().DiffTotal(snap)) / runs
+		sc.Append(float64(n), scCost)
+
+		fig.AddNote("N=%d: random tour %.0f msgs/est, sample&collide %.0f msgs/est, ratio %.1fx",
+			n, rtCost, scCost, rtCost/scCost)
+	}
+	fig.Series = []*metrics.Series{rt, sc}
+	return fig, nil
+}
+
+// extClasses runs one representative of every counting class the paper's
+// background discusses — the three head-to-head candidates plus plain
+// probabilistic polling (Bawa et al. / Friedman-Towsley) and the
+// identifier-density method of structured overlays — on the same
+// heterogeneous overlay, reporting accuracy and overhead.
+func extClasses(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-classes",
+		Title:  "All five counting classes on one heterogeneous overlay",
+		XLabel: "Estimation",
+		YLabel: "Quality %",
+	}
+	n := p.N100k
+	runs := min(10, p.TableRuns)
+	type candidate struct {
+		name string
+		est  core.Estimator
+	}
+	baseNet := hetNet(n, p, 0x3100)
+	ring := idspace.NewRing(baseNet, xrand.New(p.Seed+0x3101))
+	candidates := []candidate{
+		{"sample&collide(l=200)", samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x3102))},
+		{"hops-sampling", hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+0x3103))},
+		{"aggregation(50)", aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.New(p.Seed+0x3104))},
+		{"polling(p=0.01)", polling.New(polling.Default(), xrand.New(p.Seed+0x3105))},
+		{"id-density(k=200)", idspace.New(ring, 200, xrand.New(p.Seed+0x3106))},
+	}
+	for _, c := range candidates {
+		snap := baseNet.Counter().Snapshot()
+		s := &metrics.Series{Name: c.name}
+		var absErr float64
+		for i := 0; i < runs; i++ {
+			est, err := c.est.Estimate(baseNet)
+			if err != nil {
+				return nil, fmt.Errorf("ext-classes %s: %w", c.name, err)
+			}
+			q := 100 * est / float64(n)
+			s.Append(float64(i+1), q)
+			absErr += math.Abs(q - 100)
+		}
+		cost := float64(baseNet.Counter().DiffTotal(snap)) / float64(runs)
+		fig.Series = append(fig.Series, s)
+		fig.AddNote("%s: mean |error| %.1f%%, %.0f msgs/estimation", c.name, absErr/float64(runs), cost)
+	}
+	return fig, nil
+}
+
+// extDelay measures the estimation latency of the three candidates under
+// the Euclidean physical-network model — the paper's future-work item —
+// to test §V's conjecture that HopsSampling wins on delay.
+func extDelay(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-delay",
+		Title:  "Estimation latency under a physical network model (unit-square delays)",
+		XLabel: "Network size",
+		YLabel: "Latency (delay units)",
+	}
+	sc := &metrics.Series{Name: "Sample&Collide (l=200, sequential walks)"}
+	hops := &metrics.Series{Name: "HopsSampling (gossip + ACK)"}
+	agg := &metrics.Series{Name: "Aggregation (50 synchronous rounds)"}
+	base := max(500, p.N100k/16)
+	for _, n := range []int{base, 2 * base, 4 * base, 8 * base} {
+		net := hetNet(n, p, 0x3200+uint64(n))
+		model := latency.NewEuclidean(net.Graph().NumIDs(), 0.01, xrand.New(p.Seed+0x3201))
+		c, err := latency.CompareAll(net, model, 200, p.EpochLen, xrand.New(p.Seed+0x3202))
+		if err != nil {
+			return nil, fmt.Errorf("ext-delay: %w", err)
+		}
+		sc.Append(float64(n), c.SampleCollide)
+		hops.Append(float64(n), c.HopsSampling)
+		agg.Append(float64(n), c.Aggregation)
+		fig.AddNote("N=%d: hops %.1f, aggregation %.1f, sample&collide %.1f (hops wins %.0fx over aggregation)",
+			n, c.HopsSampling, c.Aggregation, c.SampleCollide, c.Aggregation/c.HopsSampling)
+	}
+	fig.Series = []*metrics.Series{hops, agg, sc}
+	return fig, nil
+}
+
+// extCyclon contrasts the paper's no-repair churn rule with a
+// CYCLON-maintained overlay ([19], the membership substrate the paper
+// points at): both lose 40% of their peers; the static graph keeps its
+// holes while CYCLON's shuffling flushes dead entries and keeps the
+// survivors connected, which keeps the estimators healthy.
+func extCyclon(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ext-cyclon",
+		Title:  "Overlay maintenance under churn: paper's no-repair rule vs CYCLON shuffling",
+		XLabel: "Shuffle round after 40% departures",
+		YLabel: "Stale view entries %",
+	}
+	n := p.N100k
+	g := graph.Heterogeneous(n, p.MaxDeg, xrand.New(p.Seed+0x3300))
+	proto := cyclon.New(cyclon.Default(), xrand.New(p.Seed+0x3301), nil)
+	proto.Bootstrap(g)
+
+	// The no-repair baseline: remove the same peers from a plain graph.
+	rng := xrand.New(p.Seed + 0x3302)
+	victims := make([]graph.NodeID, 0, n*4/10)
+	alive := g.AliveIDs()
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	victims = append(victims, alive[:n*4/10]...)
+	for _, id := range victims {
+		g.RemoveNode(id)
+		proto.Leave(id)
+	}
+	survivors := n - len(victims)
+	staticComp := float64(graph.LargestComponent(g)) / float64(survivors)
+	fig.AddNote("no-repair graph after -40%%: largest component %.1f%% of survivors, avg degree %.2f",
+		100*staticComp, graph.AvgDegree(g))
+
+	stale := &metrics.Series{Name: "CYCLON stale entries %"}
+	comp := &metrics.Series{Name: "CYCLON largest component %"}
+	for r := 0; r <= 30; r++ {
+		if r > 0 {
+			proto.RunRound()
+		}
+		stale.Append(float64(r), 100*proto.StaleFraction())
+		if r%10 == 0 {
+			cg := proto.ExportGraph(n)
+			comp.Append(float64(r), 100*float64(graph.LargestComponent(cg))/float64(survivors))
+		}
+	}
+	fig.Series = []*metrics.Series{stale, comp}
+	fig.AddNote("CYCLON after 30 rounds: stale %.2f%%, maintenance cost %d messages",
+		100*proto.StaleFraction(), proto.Counter().Total())
+
+	// Close the loop: estimate on the maintained overlay. The MLE
+	// refinement is used because at reduced scale l=200 is not small
+	// against the survivor count, where the basic X²/(2l) formula
+	// saturates high.
+	net := proto.ExportOverlay(n, p.MaxDeg)
+	est := samplecollide.New(samplecollide.Config{T: 10, L: 200, Kind: samplecollide.MLE},
+		xrand.New(p.Seed+0x3303))
+	const estRuns = 5
+	sum := 0.0
+	for i := 0; i < estRuns; i++ {
+		v, err := est.Estimate(net)
+		if err != nil {
+			return nil, fmt.Errorf("ext-cyclon estimate: %w", err)
+		}
+		sum += v
+	}
+	mean := sum / estRuns
+	fig.AddNote("sample&collide on the CYCLON overlay (mean of %d): %.0f of %d survivors (%+.1f%%)",
+		estRuns, mean, survivors, 100*(mean/float64(survivors)-1))
+	return fig, nil
+}

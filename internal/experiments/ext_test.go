@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExtWalksScalingContrast(t *testing.T) {
+	fig, err := extWalks(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	rt, sc := fig.Series[0], fig.Series[1]
+	if rt.Len() != 4 || sc.Len() != 4 {
+		t.Fatalf("points: rt=%d sc=%d", rt.Len(), sc.Len())
+	}
+	// Over an 8× size range, Random Tour cost must grow much faster than
+	// Sample&Collide's (linear vs square-root: expect ≥2x growth gap).
+	rtGrowth := rt.Y[3] / rt.Y[0]
+	scGrowth := sc.Y[3] / sc.Y[0]
+	if rtGrowth < 1.5*scGrowth {
+		t.Fatalf("random tour growth %.1fx not clearly above sample&collide's %.1fx",
+			rtGrowth, scGrowth)
+	}
+}
+
+func TestExtClassesAllFiveRun(t *testing.T) {
+	fig, err := extClasses(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d, want 5 classes", len(fig.Series))
+	}
+	// Every class produces positive estimates in a sane band.
+	for _, s := range fig.Series {
+		for i, q := range s.Y {
+			if q <= 0 || q > 400 {
+				t.Fatalf("%s estimate %d quality %.1f%%", s.Name, i, q)
+			}
+		}
+	}
+	// Aggregation is the accuracy champion among the notes.
+	foundAgg := false
+	for _, n := range fig.Notes {
+		if strings.HasPrefix(n, "aggregation") && strings.Contains(n, "0.0%") {
+			foundAgg = true
+		}
+	}
+	if !foundAgg {
+		t.Fatalf("aggregation accuracy note missing: %v", fig.Notes)
+	}
+}
+
+func TestExtDelayConjectureHolds(t *testing.T) {
+	fig, err := extDelay(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, agg, sc := fig.Series[0], fig.Series[1], fig.Series[2]
+	for i := range hops.Y {
+		if !(hops.Y[i] < agg.Y[i]) {
+			t.Fatalf("point %d: hops %.1f !< aggregation %.1f", i, hops.Y[i], agg.Y[i])
+		}
+		if !(hops.Y[i] < sc.Y[i]) {
+			t.Fatalf("point %d: hops %.1f !< sample&collide %.1f", i, hops.Y[i], sc.Y[i])
+		}
+	}
+}
+
+func TestExtCyclonFlushesAndEstimates(t *testing.T) {
+	fig, err := extCyclon(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := fig.Series[0]
+	// Stale fraction starts high (40% of views point at the dead) and
+	// ends near zero.
+	if stale.Y[0] < 20 {
+		t.Fatalf("initial stale %% = %.1f, churn did not register", stale.Y[0])
+	}
+	final := stale.Y[stale.Len()-1]
+	if final > 2 {
+		t.Fatalf("final stale %% = %.1f, shuffling did not flush", final)
+	}
+	// The closing estimate lands near the survivor count.
+	found := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "sample&collide on the CYCLON overlay") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("estimate note missing: %v", fig.Notes)
+	}
+	// A handful of survivors whose whole view died stay isolated until
+	// they re-join (CYCLON's introducer path, not modeled here), so the
+	// component stays just below 100%.
+	comp := fig.Series[1]
+	if comp.Y[comp.Len()-1] < 97 {
+		t.Fatalf("CYCLON largest component %.1f%%, want ≈100%%", comp.Y[comp.Len()-1])
+	}
+}
+
+func TestExtExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"ext-walks", "ext-classes", "ext-delay", "ext-cyclon"} {
+		if _, ok := Get(id); !ok {
+			t.Fatalf("%s not registered", id)
+		}
+	}
+}
+
+func TestExtDelayRatioIsLarge(t *testing.T) {
+	fig, err := extDelay(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops, agg := fig.Series[0], fig.Series[1]
+	last := hops.Len() - 1
+	if ratio := agg.Y[last] / hops.Y[last]; ratio < 5 || math.IsNaN(ratio) {
+		t.Fatalf("aggregation/hops latency ratio %.1f, expected an order of magnitude", ratio)
+	}
+}

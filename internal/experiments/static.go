@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/core"
+	"p2psize/internal/graph"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/stats"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	register("fig01", fig01)
+	register("fig02", fig02)
+	register("fig03", fig03)
+	register("fig04", fig04)
+	register("fig05", fig05)
+	register("fig06", fig06)
+	register("fig07", fig07)
+	register("fig08", fig08)
+	register("fig18", fig18)
+}
+
+// qualitySeries converts a StaticResult into the paper's quality-% curves.
+func qualitySeries(res *core.StaticResult) (oneShot, lastK *metrics.Series) {
+	oneShot = &metrics.Series{Name: "one shot"}
+	lastK = &metrics.Series{Name: "Last 10 runs"}
+	raw := res.QualityPct(false)
+	smooth := res.QualityPct(true)
+	for i := range raw {
+		oneShot.Append(float64(i+1), raw[i])
+		lastK.Append(float64(i+1), smooth[i])
+	}
+	return oneShot, lastK
+}
+
+func noteAccuracy(fig *Figure, res *core.StaticResult) {
+	raw := res.QualityPct(false)
+	smooth := res.QualityPct(true)
+	var rawErr, smoothErr stats.Running
+	for i := range raw {
+		rawErr.Add(abs(raw[i] - 100))
+		smoothErr.Add(abs(smooth[i] - 100))
+	}
+	fig.AddNote("oneShot mean |error| = %.1f%% (max %.1f%%)", rawErr.Mean(), rawErr.Max())
+	fig.AddNote("last10runs mean |error| = %.1f%% (max %.1f%%)", smoothErr.Mean(), smoothErr.Max())
+	fig.AddNote("mean overhead per estimation = %.0f messages", res.MeanOverhead())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// scStatic is the shared body of Figs 1, 2 and 18.
+func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(n, p, stream)
+	e := samplecollide.New(samplecollide.Config{T: 10, L: l}, xrand.New(p.Seed+stream+1))
+	res, err := core.RunStatic(e, net, runs, core.LastK)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Number of estimations",
+		YLabel: "Quality %",
+	}
+	oneShot, lastK := qualitySeries(res)
+	fig.Series = []*metrics.Series{lastK, oneShot}
+	noteAccuracy(fig, res)
+	return fig, nil
+}
+
+func fig01(p Params) (*Figure, error) {
+	return scStatic("fig01",
+		"Sample&Collide: oneShot and last10runs heuristic with l=200, 100,000 node network, static environment",
+		p.N100k, 200, p.SCRuns, p, 0x0100)
+}
+
+func fig02(p Params) (*Figure, error) {
+	return scStatic("fig02",
+		"Sample&Collide: oneShot and last10runs heuristic with l=200, 1,000,000 node network",
+		p.N1M, 200, p.SCRuns1M, p, 0x0200)
+}
+
+func fig18(p Params) (*Figure, error) {
+	return scStatic("fig18",
+		"Sample & collide with l=10, 100,000 node network",
+		p.N100k, 10, p.Fig18Runs, p, 0x1800)
+}
+
+// hopsStatic is the shared body of Figs 3 and 4.
+func hopsStatic(id, title string, n, runs int, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(n, p, stream)
+	e := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+1))
+	res, err := core.RunStatic(e, net, runs, core.LastK)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Number of estimations",
+		YLabel: "Quality %",
+	}
+	oneShot, lastK := qualitySeries(res)
+	fig.Series = []*metrics.Series{lastK, oneShot}
+	noteAccuracy(fig, res)
+	// Reached fraction explains the paper's systematic under-estimation.
+	probe := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+2))
+	if init, ok := net.RandomPeer(xrand.New(p.Seed + stream + 3)); ok {
+		if frac, err := probe.ReachedFraction(net, init); err == nil {
+			fig.AddNote("gossip spread reached %.1f%% of nodes (non-reached %.1f%%)",
+				100*frac, 100*(1-frac))
+		}
+	}
+	return fig, nil
+}
+
+func fig03(p Params) (*Figure, error) {
+	return hopsStatic("fig03",
+		"HopsSampling: oneShot and last10runs heuristics, 100,000 node network",
+		p.N100k, p.HopsRuns, p, 0x0300)
+}
+
+func fig04(p Params) (*Figure, error) {
+	return hopsStatic("fig04",
+		"HopsSampling: oneShot and last10runs heuristics, 1,000,000 node network",
+		p.N1M, p.HopsRuns1M, p, 0x0400)
+}
+
+// aggStatic is the shared body of Figs 5 and 6: three independent
+// estimations, quality against round number.
+func aggStatic(id, title string, n int, p Params, stream uint64) (*Figure, error) {
+	net := hetNet(n, p, stream)
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "#Round",
+		YLabel: "Quality %",
+	}
+	trueSize := float64(net.Size())
+	for k := 0; k < 3; k++ {
+		proto := aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+			xrand.New(p.Seed+stream+10+uint64(k)))
+		if err := proto.StartEpoch(net); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		s := &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)}
+		s.Append(0, stats.QualityPct(1, trueSize)) // initiator starts at 1/1
+		converged := -1
+		for round := 1; round <= p.AggStaticRounds; round++ {
+			proto.RunRound(net)
+			est, ok := proto.Estimate(net)
+			q := 0.0
+			if ok {
+				q = stats.QualityPct(est, trueSize)
+			}
+			s.Append(float64(round), q)
+			if converged < 0 && q >= 99 && q <= 101 {
+				converged = round
+			}
+		}
+		fig.Series = append(fig.Series, s)
+		if converged > 0 {
+			fig.AddNote("estimation #%d within 1%% of truth from round %d", k+1, converged)
+		} else {
+			fig.AddNote("estimation #%d did not reach 1%% accuracy in %d rounds", k+1, p.AggStaticRounds)
+		}
+	}
+	return fig, nil
+}
+
+func fig05(p Params) (*Figure, error) {
+	return aggStatic("fig05", "Aggregation: 100,000 node network", p.N100k, p, 0x0500)
+}
+
+func fig06(p Params) (*Figure, error) {
+	return aggStatic("fig06", "Aggregation: 1,000,000 node network", p.N1M, p, 0x0600)
+}
+
+// fig07 plots the scale-free degree distribution (log-log).
+func fig07(p Params) (*Figure, error) {
+	net := scaleFreeNet(p.N100k, p, 0x0700)
+	h := graph.DegreeHistogram(net.Graph())
+	fig := &Figure{
+		ID:     "fig07",
+		Title:  "Scale free degree distribution, 3 neighbors min per node",
+		XLabel: "Degree",
+		YLabel: "Number of nodes",
+		LogLog: true,
+	}
+	s := &metrics.Series{Name: "Scale Free Distribution"}
+	values, counts := h.NonZero()
+	for i := range values {
+		s.Append(float64(values[i]), float64(counts[i]))
+	}
+	fig.Series = []*metrics.Series{s}
+	fig.AddNote("nodes %d, min degree %d, max degree %d, average %.1f",
+		net.Size(), values[0], h.Max(), h.Mean())
+	return fig, nil
+}
+
+// fig08 runs all three algorithms on the scale-free graph:
+// Sample&Collide l=200 oneShot, Aggregation with one 50-round epoch per
+// estimation, HopsSampling with last10runs.
+func fig08(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig08",
+		Title:  "Test of the 3 algorithms on a scale free graph",
+		XLabel: "Number of estimations",
+		YLabel: "Quality %",
+	}
+	runs := p.SCRuns
+	type cand struct {
+		name     string
+		est      core.Estimator
+		smoothed bool
+	}
+	candidates := []cand{
+		{"Aggregation", aggregation.NewEstimator(
+			aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.New(p.Seed+0x0801)), false},
+		{"Sample&collide", samplecollide.New(
+			samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x0802)), false},
+		{"HopsSampling", hopssampling.New(
+			hopssampling.Default(), xrand.New(p.Seed+0x0803)), true},
+	}
+	// Fresh topology per candidate (same seed), so one candidate's meter
+	// and rng use cannot perturb another.
+	for _, c := range candidates {
+		net := scaleFreeNet(p.N100k, p, 0x0800)
+		candidateRuns := runs
+		if c.name == "Aggregation" && candidateRuns > 20 {
+			// Each Aggregation estimate costs a full epoch (N·50·2
+			// messages); the curve is flat after convergence, so cap the
+			// points at paper scale. Noted on the figure.
+			candidateRuns = 20
+			fig.AddNote("Aggregation plotted for %d estimations (flat curve, epoch cost N·%d·2)", candidateRuns, p.EpochLen)
+		}
+		res, err := core.RunStatic(c.est, net, candidateRuns, core.LastK)
+		if err != nil {
+			return nil, fmt.Errorf("fig08 %s: %w", c.name, err)
+		}
+		q := res.QualityPct(c.smoothed)
+		s := &metrics.Series{Name: c.name}
+		for i := range q {
+			s.Append(float64(i+1), q[i])
+		}
+		fig.Series = append(fig.Series, s)
+		var e stats.Running
+		for _, v := range q {
+			e.Add(v - 100)
+		}
+		fig.AddNote("%s mean signed error %.1f%%", c.name, e.Mean())
+	}
+	return fig, nil
+}
+
+// ScaleFreeOverlay is exported for the scalefree example and tests.
+func ScaleFreeOverlay(n int, seed uint64) *overlay.Network {
+	p := Defaults()
+	p.Seed = seed
+	return scaleFreeNet(n, p, 0)
+}

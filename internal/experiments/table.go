@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/core"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/plot"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/stats"
+	"p2psize/internal/xrand"
+)
+
+// TableIRow is one measured column of the paper's Table I ("Example of
+// algorithm's overhead for an estimation on a 100,000 node overlay").
+type TableIRow struct {
+	// Algorithm and Heuristic name the configuration, paper-style.
+	Algorithm string
+	Heuristic string
+	// MeanSignedErrPct is the mean of (quality − 100): negative values
+	// are systematic under-estimation (HopsSampling's −20%).
+	MeanSignedErrPct float64
+	// MeanAbsErrPct is the mean of |quality − 100| (the "+/-" rows).
+	MeanAbsErrPct float64
+	// OverheadPerEstimate is the measured message cost of one estimation
+	// under the heuristic (lastKruns pays K single-shot costs).
+	OverheadPerEstimate float64
+}
+
+// TableIRows measures the four Table I configurations on a fresh
+// heterogeneous overlay of p.N100k nodes, in the paper's column order:
+// S&C oneShot, HopsSampling last10runs, S&C last10runs, Aggregation.
+func TableIRows(p Params) ([]TableIRow, error) {
+	var rows []TableIRow
+
+	// Sample&Collide l=200 (one run set feeds both heuristics).
+	scNet := hetNet(p.N100k, p, 0x2000)
+	sc := samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x2001))
+	scRes, err := core.RunStatic(sc, scNet, p.TableRuns, core.LastK)
+	if err != nil {
+		return nil, fmt.Errorf("table1 sample&collide: %w", err)
+	}
+	rows = append(rows, makeRow("Sample&Collide (l=200)", "oneShot",
+		scRes.QualityPct(false), scRes.MeanOverhead()))
+
+	// HopsSampling last10runs.
+	hopsNet := hetNet(p.N100k, p, 0x2100)
+	hops := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+0x2101))
+	hopsRes, err := core.RunStatic(hops, hopsNet, p.TableRuns, core.LastK)
+	if err != nil {
+		return nil, fmt.Errorf("table1 hops-sampling: %w", err)
+	}
+	rows = append(rows, makeRow("HopsSampling", "last10runs",
+		smoothedTail(hopsRes), float64(core.LastK)*hopsRes.MeanOverhead()))
+
+	// Sample&Collide last10runs (same measurements, smoothed heuristic).
+	rows = append(rows, makeRow("Sample&Collide (l=200)", "last10runs",
+		smoothedTail(scRes), float64(core.LastK)*scRes.MeanOverhead()))
+
+	// Aggregation, one epoch of EpochLen rounds per estimation. Epochs
+	// are expensive (N·rounds·2), so a few runs suffice: the estimator is
+	// near-deterministic at convergence.
+	aggNet := hetNet(p.N100k, p, 0x2200)
+	agg := aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+		xrand.New(p.Seed+0x2201))
+	aggRuns := min(3, p.TableRuns)
+	aggRes, err := core.RunStatic(agg, aggNet, aggRuns, core.LastK)
+	if err != nil {
+		return nil, fmt.Errorf("table1 aggregation: %w", err)
+	}
+	rows = append(rows, makeRow("Aggregation", fmt.Sprintf("%d rounds", p.EpochLen),
+		aggRes.QualityPct(false), aggRes.MeanOverhead()))
+	return rows, nil
+}
+
+// smoothedTail returns the lastK-smoothed qualities once the window is
+// full, so early partial windows don't distort the heuristic's accuracy.
+func smoothedTail(res *core.StaticResult) []float64 {
+	q := res.QualityPct(true)
+	if len(q) > core.LastK {
+		return q[core.LastK-1:]
+	}
+	return q
+}
+
+func makeRow(alg, heur string, qualities []float64, overhead float64) TableIRow {
+	var signed, absErr stats.Running
+	for _, q := range qualities {
+		signed.Add(q - 100)
+		absErr.Add(abs(q - 100))
+	}
+	return TableIRow{
+		Algorithm:           alg,
+		Heuristic:           heur,
+		MeanSignedErrPct:    signed.Mean(),
+		MeanAbsErrPct:       absErr.Mean(),
+		OverheadPerEstimate: overhead,
+	}
+}
+
+// TableI renders the measured rows in the paper's layout.
+func TableI(p Params) (*plot.Table, []TableIRow, error) {
+	rows, err := TableIRows(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &plot.Table{
+		Title: fmt.Sprintf("Table I: overhead and accuracy for an estimation on a %d node overlay", p.N100k),
+		Headers: []string{
+			"Algorithm", "Parameters", "Accuracy (mean signed)", "Accuracy (mean abs)", "Overhead (messages)",
+		},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Algorithm,
+			r.Heuristic,
+			fmt.Sprintf("%+.1f%%", r.MeanSignedErrPct),
+			fmt.Sprintf("±%.1f%%", r.MeanAbsErrPct),
+			plot.FormatCount(r.OverheadPerEstimate),
+		)
+	}
+	return t, rows, nil
+}
+
+func init() {
+	register("table1", func(p Params) (*Figure, error) {
+		tbl, rows, err := TableI(p)
+		if err != nil {
+			return nil, err
+		}
+		fig := &Figure{
+			ID:    "table1",
+			Title: tbl.Title,
+		}
+		for _, line := range splitLines(tbl.Text()) {
+			fig.AddNote("%s", line)
+		}
+		_ = rows
+		return fig, nil
+	})
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package graph
+
+import "p2psize/internal/xrand"
+
+// maxWireAttempts bounds the rejection sampling in the random-graph
+// builders; a node that cannot find an eligible partner after this many
+// draws keeps its current (smaller) degree, mirroring the paper's
+// best-effort wiring ("otherwise other random nodes are chosen").
+const maxWireAttempts = 200
+
+// Heterogeneous builds the paper's default test topology (§IV-A
+// "Graphs construction"): all n nodes exist up front; nodes are wired one
+// by one; each draws a target degree uniformly in [1, maxDeg] and fills
+// its view with uniformly random partners that are not yet at maxDeg.
+// Links are bidirectional. With maxDeg = 10 the resulting average degree
+// is ≈ 7.2, matching the paper.
+func Heterogeneous(n, maxDeg int, rng *xrand.Rand) *Graph {
+	if n <= 0 {
+		panic("graph: Heterogeneous with n <= 0")
+	}
+	if maxDeg < 1 {
+		panic("graph: Heterogeneous with maxDeg < 1")
+	}
+	g := NewWithNodes(n)
+	for u := NodeID(0); int(u) < n; u++ {
+		target := rng.IntRange(1, maxDeg)
+		wireUpTo(g, u, target, maxDeg, rng)
+	}
+	return g
+}
+
+// Homogeneous builds the homogeneous variant mentioned in §IV-A, in which
+// every node aims for exactly degree k (subject to feasibility at the end
+// of the process).
+func Homogeneous(n, k int, rng *xrand.Rand) *Graph {
+	if n <= 0 {
+		panic("graph: Homogeneous with n <= 0")
+	}
+	if k < 1 || k >= n {
+		panic("graph: Homogeneous needs 1 <= k < n")
+	}
+	g := NewWithNodes(n)
+	for u := NodeID(0); int(u) < n; u++ {
+		wireUpTo(g, u, k, k, rng)
+	}
+	return g
+}
+
+// wireUpTo adds random links to u until its degree reaches target,
+// choosing partners uniformly among nodes with degree < cap.
+func wireUpTo(g *Graph, u NodeID, target, cap int, rng *xrand.Rand) {
+	attempts := 0
+	for g.Degree(u) < target && attempts < maxWireAttempts {
+		v, ok := g.RandomAlive(rng)
+		if !ok {
+			return
+		}
+		if v == u || g.Degree(v) >= cap || g.HasEdge(u, v) {
+			attempts++
+			continue
+		}
+		g.AddEdge(u, v)
+	}
+}
+
+// BarabasiAlbert builds a scale-free graph by growth and preferential
+// attachment [Albert & Barabási 2002], the topology of Fig 7: each
+// arriving node attaches to m distinct existing nodes chosen with
+// probability proportional to their degree. The seed is an (m+1)-clique,
+// so every node has at least m links and the average degree approaches 2m
+// (the paper uses m = 3: "3 neighbors min per node", average ≈ 6).
+func BarabasiAlbert(n, m int, rng *xrand.Rand) *Graph {
+	if m < 1 {
+		panic("graph: BarabasiAlbert with m < 1")
+	}
+	if n < m+1 {
+		panic("graph: BarabasiAlbert needs n >= m+1")
+	}
+	g := NewWithNodes(n)
+	// endpoints holds every edge endpoint twice over; uniform sampling
+	// from it is degree-proportional sampling.
+	endpoints := make([]NodeID, 0, 2*m*n)
+	for u := NodeID(0); int(u) <= m; u++ {
+		for v := u + 1; int(v) <= m; v++ {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	chosen := make(map[NodeID]bool, m)
+	for u := NodeID(m + 1); int(u) < n; u++ {
+		clear(chosen)
+		for len(chosen) < m {
+			v := endpoints[rng.Intn(len(endpoints))]
+			if v != u && !chosen[v] {
+				chosen[v] = true
+			}
+		}
+		for v := range chosen {
+			g.AddEdge(u, v)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+// ErdosRenyi builds G(n, p) using geometric skipping, so the cost is
+// proportional to the number of edges rather than n². Used as a reference
+// topology in tests and ablations.
+func ErdosRenyi(n int, p float64, rng *xrand.Rand) *Graph {
+	if n <= 0 {
+		panic("graph: ErdosRenyi with n <= 0")
+	}
+	if p < 0 || p > 1 {
+		panic("graph: ErdosRenyi with p outside [0,1]")
+	}
+	g := NewWithNodes(n)
+	if p == 0 {
+		return g
+	}
+	if p == 1 {
+		for u := NodeID(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				g.AddEdge(u, v)
+			}
+		}
+		return g
+	}
+	// Batagelj–Brandes: iterate candidate pairs (w, v) with w < v and jump
+	// ahead by geometrically distributed gaps, so cost is O(edges).
+	v, w := 1, -1
+	for v < n {
+		w += 1 + rng.Geometric(p)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			g.AddEdge(NodeID(w), NodeID(v))
+		}
+	}
+	return g
+}
+
+// Ring builds a cycle of n nodes — the worst-case expander used in the
+// random-walk mixing tests. Panics for n < 3.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic("graph: Ring needs n >= 3")
+	}
+	g := NewWithNodes(n)
+	for u := 0; u < n; u++ {
+		g.AddEdge(NodeID(u), NodeID((u+1)%n))
+	}
+	return g
+}
+
+// Clique builds the complete graph on n nodes (tests only; quadratic).
+func Clique(n int) *Graph {
+	if n < 1 {
+		panic("graph: Clique needs n >= 1")
+	}
+	g := NewWithNodes(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return g
+}
+
+// WattsStrogatz builds a small-world graph: a ring lattice where every
+// node links to its k nearest clockwise neighbors, with each lattice edge
+// rewired to a uniform random endpoint with probability beta. At beta = 0
+// it is the pure lattice (high clustering, huge diameter); at beta = 1 it
+// approaches a random graph; small beta gives the small-world regime
+// (high clustering AND small diameter) — a realistic middle ground
+// between the paper's random graphs and its scale-free topology for
+// exercising the estimators.
+func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) *Graph {
+	if n < 3 {
+		panic("graph: WattsStrogatz needs n >= 3")
+	}
+	if k < 1 || 2*k >= n {
+		panic("graph: WattsStrogatz needs 1 <= k < n/2")
+	}
+	if beta < 0 || beta > 1 {
+		panic("graph: WattsStrogatz needs beta in [0,1]")
+	}
+	g := NewWithNodes(n)
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if !rng.Bernoulli(beta) {
+				g.AddEdge(NodeID(u), NodeID(v))
+				continue
+			}
+			// Rewire: keep u, draw a fresh endpoint (best effort — on
+			// failure the lattice edge is kept, preserving degree mass).
+			added := false
+			for attempt := 0; attempt < maxWireAttempts; attempt++ {
+				w := NodeID(rng.Intn(n))
+				if w != NodeID(u) && !g.HasEdge(NodeID(u), w) {
+					g.AddEdge(NodeID(u), w)
+					added = true
+					break
+				}
+			}
+			if !added {
+				g.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,267 @@
+// Package graph implements the overlay topologies of the comparative
+// study: a dynamic undirected graph with O(1) uniform node and neighbor
+// sampling, the paper's heterogeneous random-graph construction (§IV-A),
+// homogeneous random graphs, Barabási–Albert scale-free graphs (Fig 7),
+// plus the analysis routines (BFS, components, degree statistics) used to
+// validate inputs and explain results.
+//
+// Node identifiers are dense int32 indices; a million-node overlay with
+// average degree 7.2 fits in a few hundred megabytes. All mutation keeps
+// the undirected invariant: v appears in adj[u] exactly when u appears in
+// adj[v], and never twice.
+package graph
+
+import (
+	"fmt"
+
+	"p2psize/internal/xrand"
+)
+
+// NodeID identifies a node. IDs are dense and never reused within one
+// Graph; dead nodes keep their ID but drop out of the alive set.
+type NodeID = int32
+
+// None is the sentinel returned when no node qualifies.
+const None NodeID = -1
+
+// Graph is a mutable undirected graph with an explicit alive set.
+// It is not safe for concurrent mutation.
+type Graph struct {
+	adj      [][]NodeID
+	alive    []bool
+	aliveIDs []NodeID // compact list of alive nodes for O(1) sampling
+	alivePos []int32  // alivePos[id] = index into aliveIDs, -1 when dead
+	edges    int
+}
+
+// New returns an empty graph with capacity hint n.
+func New(n int) *Graph {
+	return &Graph{
+		adj:      make([][]NodeID, 0, n),
+		alive:    make([]bool, 0, n),
+		aliveIDs: make([]NodeID, 0, n),
+		alivePos: make([]int32, 0, n),
+	}
+}
+
+// NewWithNodes returns a graph with n alive, unconnected nodes 0..n-1.
+func NewWithNodes(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	return g
+}
+
+// AddNode creates a new alive node and returns its ID.
+func (g *Graph) AddNode() NodeID {
+	id := NodeID(len(g.adj))
+	g.adj = append(g.adj, nil)
+	g.alive = append(g.alive, true)
+	g.alivePos = append(g.alivePos, int32(len(g.aliveIDs)))
+	g.aliveIDs = append(g.aliveIDs, id)
+	return id
+}
+
+// RemoveNode kills a node: all incident edges are removed and the node
+// leaves the alive set. Neighbors are NOT rewired — the paper's churn
+// rule is that "nodes that have lost one or several neighbors do not
+// create new links". Removing a dead node panics.
+func (g *Graph) RemoveNode(id NodeID) {
+	g.mustAlive(id)
+	for _, nb := range g.adj[id] {
+		g.removeHalfEdge(nb, id)
+		g.edges--
+	}
+	g.adj[id] = g.adj[id][:0]
+	g.alive[id] = false
+	// Swap-delete from the alive list.
+	pos := g.alivePos[id]
+	last := g.aliveIDs[len(g.aliveIDs)-1]
+	g.aliveIDs[pos] = last
+	g.alivePos[last] = pos
+	g.aliveIDs = g.aliveIDs[:len(g.aliveIDs)-1]
+	g.alivePos[id] = -1
+}
+
+// removeHalfEdge deletes v from adj[u] (swap-delete). The caller
+// guarantees presence.
+func (g *Graph) removeHalfEdge(u, v NodeID) {
+	a := g.adj[u]
+	for i, w := range a {
+		if w == v {
+			a[i] = a[len(a)-1]
+			g.adj[u] = a[:len(a)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("graph: half-edge %d->%d missing", u, v))
+}
+
+// AddEdge links u and v bidirectionally. It reports false (and does
+// nothing) for self-loops and already-present edges. Dead endpoints panic.
+func (g *Graph) AddEdge(u, v NodeID) bool {
+	g.mustAlive(u)
+	g.mustAlive(v)
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	g.edges++
+	return true
+}
+
+// RemoveEdge unlinks u and v and reports whether the edge existed.
+func (g *Graph) RemoveEdge(u, v NodeID) bool {
+	g.mustAlive(u)
+	g.mustAlive(v)
+	if !g.HasEdge(u, v) {
+		return false
+	}
+	g.removeHalfEdge(u, v)
+	g.removeHalfEdge(v, u)
+	g.edges--
+	return true
+}
+
+// HasEdge reports whether u and v are linked. The scan runs over the
+// smaller adjacency list, which matters on scale-free hubs.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+		return false
+	}
+	if len(g.adj[u]) > len(g.adj[v]) {
+		u, v = v, u
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of live links of id (0 for dead nodes).
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// Neighbors returns the adjacency list of id as a shared view; callers
+// must not modify it and must not hold it across mutations.
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+
+// RandomNeighbor returns a uniformly random neighbor of id, or (None,
+// false) for an isolated node.
+func (g *Graph) RandomNeighbor(id NodeID, rng *xrand.Rand) (NodeID, bool) {
+	a := g.adj[id]
+	if len(a) == 0 {
+		return None, false
+	}
+	return a[rng.Intn(len(a))], true
+}
+
+// RandomAlive returns a uniformly random alive node, or (None, false) for
+// an empty graph.
+func (g *Graph) RandomAlive(rng *xrand.Rand) (NodeID, bool) {
+	if len(g.aliveIDs) == 0 {
+		return None, false
+	}
+	return g.aliveIDs[rng.Intn(len(g.aliveIDs))], true
+}
+
+// Alive reports whether id is a live node.
+func (g *Graph) Alive(id NodeID) bool {
+	return id >= 0 && int(id) < len(g.alive) && g.alive[id]
+}
+
+// NumAlive returns the number of live nodes — the quantity every
+// algorithm in the study tries to estimate.
+func (g *Graph) NumAlive() int { return len(g.aliveIDs) }
+
+// NumEdges returns the number of live undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// NumIDs returns the total number of IDs ever allocated (alive + dead).
+func (g *Graph) NumIDs() int { return len(g.adj) }
+
+// AliveIDs returns a copy of the live node list.
+func (g *Graph) AliveIDs() []NodeID {
+	out := make([]NodeID, len(g.aliveIDs))
+	copy(out, g.aliveIDs)
+	return out
+}
+
+// ForEachAlive calls fn for every live node in unspecified (but
+// deterministic) order. fn must not mutate the graph.
+func (g *Graph) ForEachAlive(fn func(id NodeID)) {
+	for _, id := range g.aliveIDs {
+		fn(id)
+	}
+}
+
+// AliveAt returns the i-th entry of the internal alive list; together with
+// NumAlive it allows allocation-free sweeps. Order is unspecified and
+// changes across mutations.
+func (g *Graph) AliveAt(i int) NodeID { return g.aliveIDs[i] }
+
+func (g *Graph) mustAlive(id NodeID) {
+	if !g.Alive(id) {
+		panic(fmt.Sprintf("graph: node %d is not alive", id))
+	}
+}
+
+// CheckInvariants validates structural consistency (adjacency symmetry,
+// no self-loops or duplicates, alive bookkeeping, edge count) and returns
+// an error describing the first violation. Intended for tests.
+func (g *Graph) CheckInvariants() error {
+	if len(g.adj) != len(g.alive) || len(g.adj) != len(g.alivePos) {
+		return fmt.Errorf("graph: parallel slice lengths diverge")
+	}
+	halfEdges := 0
+	for u := range g.adj {
+		uid := NodeID(u)
+		if !g.alive[u] {
+			if len(g.adj[u]) != 0 {
+				return fmt.Errorf("graph: dead node %d has edges", u)
+			}
+			if g.alivePos[u] != -1 {
+				return fmt.Errorf("graph: dead node %d has alive position", u)
+			}
+			continue
+		}
+		pos := g.alivePos[u]
+		if pos < 0 || int(pos) >= len(g.aliveIDs) || g.aliveIDs[pos] != uid {
+			return fmt.Errorf("graph: alive bookkeeping broken for %d", u)
+		}
+		seen := make(map[NodeID]bool, len(g.adj[u]))
+		for _, v := range g.adj[u] {
+			if v == uid {
+				return fmt.Errorf("graph: self-loop at %d", u)
+			}
+			if seen[v] {
+				return fmt.Errorf("graph: duplicate edge %d-%d", u, v)
+			}
+			seen[v] = true
+			if !g.Alive(v) {
+				return fmt.Errorf("graph: %d links to dead node %d", u, v)
+			}
+			found := false
+			for _, w := range g.adj[v] {
+				if w == uid {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("graph: asymmetric edge %d-%d", u, v)
+			}
+		}
+		halfEdges += len(g.adj[u])
+	}
+	if halfEdges != 2*g.edges {
+		return fmt.Errorf("graph: edge count %d does not match %d half-edges", g.edges, halfEdges)
+	}
+	if len(g.aliveIDs) > len(g.adj) {
+		return fmt.Errorf("graph: more alive entries than nodes")
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2psize/internal/xrand"
+)
+
+func TestAddNodesAndEdges(t *testing.T) {
+	g := New(4)
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	if g.NumAlive() != 3 || g.NumIDs() != 3 {
+		t.Fatalf("NumAlive=%d NumIDs=%d", g.NumAlive(), g.NumIDs())
+	}
+	if !g.AddEdge(a, b) || !g.AddEdge(b, c) {
+		t.Fatal("AddEdge failed")
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if !g.HasEdge(a, b) || !g.HasEdge(b, a) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(a, c) {
+		t.Fatal("phantom edge")
+	}
+	if g.Degree(b) != 2 || g.Degree(a) != 1 {
+		t.Fatalf("degrees: a=%d b=%d", g.Degree(a), g.Degree(b))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeRejectsSelfAndDuplicate(t *testing.T) {
+	g := NewWithNodes(2)
+	if g.AddEdge(0, 0) {
+		t.Fatal("self-loop accepted")
+	}
+	if !g.AddEdge(0, 1) {
+		t.Fatal("first edge rejected")
+	}
+	if g.AddEdge(1, 0) {
+		t.Fatal("duplicate (reversed) edge accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := NewWithNodes(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	if !g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge on existing edge returned false")
+	}
+	if g.RemoveEdge(0, 1) {
+		t.Fatal("RemoveEdge on missing edge returned true")
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.NumEdges() != 1 {
+		t.Fatal("edge state wrong after removal")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	g := NewWithNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.RemoveNode(0)
+	if g.Alive(0) {
+		t.Fatal("node 0 still alive")
+	}
+	if g.NumAlive() != 3 {
+		t.Fatalf("NumAlive = %d", g.NumAlive())
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+	if g.Degree(1) != 0 || g.Degree(2) != 1 {
+		t.Fatal("neighbor degrees not updated")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveDeadNodePanics(t *testing.T) {
+	g := NewWithNodes(1)
+	g.RemoveNode(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double RemoveNode did not panic")
+		}
+	}()
+	g.RemoveNode(0)
+}
+
+func TestAddEdgeDeadEndpointPanics(t *testing.T) {
+	g := NewWithNodes(2)
+	g.RemoveNode(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge to dead node did not panic")
+		}
+	}()
+	g.AddEdge(0, 1)
+}
+
+func TestAliveSampling(t *testing.T) {
+	rng := xrand.New(1)
+	g := NewWithNodes(10)
+	for i := 0; i < 5; i++ {
+		g.RemoveNode(NodeID(i))
+	}
+	counts := map[NodeID]int{}
+	for i := 0; i < 20000; i++ {
+		id, ok := g.RandomAlive(rng)
+		if !ok {
+			t.Fatal("RandomAlive failed on non-empty graph")
+		}
+		if !g.Alive(id) {
+			t.Fatalf("sampled dead node %d", id)
+		}
+		counts[id]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("sampled %d distinct nodes, want 5", len(counts))
+	}
+	for id, c := range counts {
+		f := float64(c) / 20000
+		if f < 0.15 || f > 0.25 {
+			t.Fatalf("node %d sampled with frequency %g, want ~0.2", id, f)
+		}
+	}
+}
+
+func TestRandomAliveEmpty(t *testing.T) {
+	g := NewWithNodes(1)
+	g.RemoveNode(0)
+	if _, ok := g.RandomAlive(xrand.New(1)); ok {
+		t.Fatal("RandomAlive on empty graph returned ok")
+	}
+}
+
+func TestRandomNeighbor(t *testing.T) {
+	rng := xrand.New(2)
+	g := NewWithNodes(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	seen := map[NodeID]bool{}
+	for i := 0; i < 1000; i++ {
+		v, ok := g.RandomNeighbor(0, rng)
+		if !ok {
+			t.Fatal("RandomNeighbor failed")
+		}
+		seen[v] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("neighbors seen: %v", seen)
+	}
+	if _, ok := g.RandomNeighbor(1, rng); !ok {
+		t.Fatal("degree-1 node has a neighbor")
+	}
+	g.RemoveEdge(0, 1)
+	g.RemoveEdge(0, 2)
+	g.RemoveEdge(0, 3)
+	if _, ok := g.RandomNeighbor(0, rng); ok {
+		t.Fatal("isolated node returned a neighbor")
+	}
+}
+
+func TestAliveIDsAndForEach(t *testing.T) {
+	g := NewWithNodes(5)
+	g.RemoveNode(2)
+	ids := g.AliveIDs()
+	if len(ids) != 4 {
+		t.Fatalf("AliveIDs len = %d", len(ids))
+	}
+	count := 0
+	g.ForEachAlive(func(id NodeID) {
+		if id == 2 {
+			t.Fatal("dead node visited")
+		}
+		count++
+	})
+	if count != 4 {
+		t.Fatalf("visited %d nodes", count)
+	}
+	for i := 0; i < g.NumAlive(); i++ {
+		if !g.Alive(g.AliveAt(i)) {
+			t.Fatal("AliveAt returned dead node")
+		}
+	}
+}
+
+func TestAliveBoundsChecks(t *testing.T) {
+	g := NewWithNodes(1)
+	if g.Alive(-1) || g.Alive(5) {
+		t.Fatal("out-of-range IDs reported alive")
+	}
+	if g.HasEdge(0, 99) || g.HasEdge(99, 0) {
+		t.Fatal("HasEdge out-of-range true")
+	}
+}
+
+// randomMutation drives a graph through a random operation sequence and
+// is the workhorse of the invariant property test.
+func randomMutation(g *Graph, rng *xrand.Rand) {
+	switch rng.Intn(4) {
+	case 0:
+		g.AddNode()
+	case 1:
+		if u, ok := g.RandomAlive(rng); ok {
+			if v, ok := g.RandomAlive(rng); ok {
+				g.AddEdge(u, v)
+			}
+		}
+	case 2:
+		if u, ok := g.RandomAlive(rng); ok {
+			if v, ok := g.RandomNeighbor(u, rng); ok {
+				g.RemoveEdge(u, v)
+			}
+		}
+	case 3:
+		if g.NumAlive() > 1 {
+			if u, ok := g.RandomAlive(rng); ok {
+				g.RemoveNode(u)
+			}
+		}
+	}
+}
+
+func TestInvariantsUnderRandomMutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := NewWithNodes(8)
+		for op := 0; op < 300; op++ {
+			randomMutation(g, rng)
+		}
+		return g.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsAsymmetry(t *testing.T) {
+	g := NewWithNodes(2)
+	g.AddEdge(0, 1)
+	// Corrupt deliberately.
+	g.adj[0] = g.adj[0][:0]
+	if err := g.CheckInvariants(); err == nil {
+		t.Fatal("asymmetric edge not detected")
+	}
+}
+
+func TestCheckInvariantsDetectsSelfLoop(t *testing.T) {
+	g := NewWithNodes(1)
+	g.adj[0] = append(g.adj[0], 0)
+	if err := g.CheckInvariants(); err == nil {
+		t.Fatal("self-loop not detected")
+	}
+}

@@ -1,0 +1,124 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"p2psize/internal/xrand"
+)
+
+func roundTrip(t *testing.T, g *Graph) *Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func sameGraph(a, b *Graph) bool {
+	if a.NumIDs() != b.NumIDs() || a.NumAlive() != b.NumAlive() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for id := NodeID(0); int(id) < a.NumIDs(); id++ {
+		if a.Alive(id) != b.Alive(id) {
+			return false
+		}
+		if !a.Alive(id) {
+			continue
+		}
+		if a.Degree(id) != b.Degree(id) {
+			return false
+		}
+		for _, v := range a.Neighbors(id) {
+			if !b.HasEdge(id, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTripSimple(t *testing.T) {
+	g := NewWithNodes(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	g.RemoveNode(2) // leave a dead node in the ID space
+	got := roundTrip(t, g)
+	if !sameGraph(g, got) {
+		t.Fatal("round trip lost structure")
+	}
+	if err := got.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		g := Heterogeneous(100, 6, rng)
+		for i := 0; i < 20; i++ {
+			randomMutation(g, rng)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return sameGraph(g, got) && got.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOPE garbage"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewWithNodes(1)
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // clobber version
+	_, err := Read(bytes.NewReader(b))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	g := Ring(10)
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestReadEmptyGraph(t *testing.T) {
+	g := New(0)
+	got := roundTrip(t, g)
+	if got.NumIDs() != 0 || got.NumAlive() != 0 {
+		t.Fatal("empty graph round trip wrong")
+	}
+}

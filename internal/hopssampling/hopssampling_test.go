@@ -1,0 +1,316 @@
+package hopssampling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+func hetNet(n int, seed uint64) *overlay.Network {
+	return overlay.New(graph.Heterogeneous(n, 10, xrand.New(seed)), 10, nil)
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{GossipTo: 0, GossipFor: 1, GossipUntil: 1, MinHopsReporting: 5},
+		{GossipTo: 2, GossipFor: 0, GossipUntil: 1, MinHopsReporting: 5},
+		{GossipTo: 2, GossipFor: 1, GossipUntil: 0, MinHopsReporting: 5},
+		{GossipTo: 2, GossipFor: 1, GossipUntil: 1, MinHopsReporting: 0},
+		{GossipTo: 2, GossipFor: 1, GossipUntil: 1, MinHopsReporting: 5, MaxRounds: -1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg, xrand.New(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil rng did not panic")
+			}
+		}()
+		New(Default(), nil)
+	}()
+}
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	cfg := Default()
+	if cfg.GossipTo != 2 || cfg.GossipFor != 1 || cfg.GossipUntil != 1 || cfg.MinHopsReporting != 5 {
+		t.Fatalf("defaults = %+v, want the paper's gossipTo=2 gossipFor=1 gossipUntil=1 minHops=5", cfg)
+	}
+	if !cfg.RoutedReplies {
+		t.Fatal("default should use routed replies (Table I accounting)")
+	}
+}
+
+func TestName(t *testing.T) {
+	e := New(Default(), xrand.New(1))
+	if e.Name() != "hops-sampling(minHops=5)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Config().GossipTo != 2 {
+		t.Fatal("Config not returned")
+	}
+}
+
+func TestSpreadReachesMostNodes(t *testing.T) {
+	// Branching factor 2 with collisions reaches the fraction ρ solving
+	// ρ = 1 - e^{-2ρ} ≈ 0.80 on a random graph; allow a generous band.
+	net := hetNet(20000, 2)
+	e := New(Default(), xrand.New(3))
+	initiator, _ := net.RandomPeer(xrand.New(4))
+	frac, err := e.ReachedFraction(net, initiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.6 || frac > 0.98 {
+		t.Fatalf("reached fraction = %.2f, want ≈0.8", frac)
+	}
+}
+
+func TestUnderEstimationBiasMatchesReachedFraction(t *testing.T) {
+	// The estimate should track reached/|N| (paper: consistent
+	// under-estimation ≈ -20%).
+	const n = 20000
+	net := hetNet(n, 5)
+	e := New(Default(), xrand.New(6))
+	initiator, _ := net.RandomPeer(xrand.New(7))
+	est, diag, err := e.EstimateFrom(net, initiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reachedFrac := float64(diag.Reached) / n
+	estFrac := est / n
+	if math.Abs(estFrac-reachedFrac) > 0.15 {
+		t.Fatalf("estimate fraction %.2f vs reached fraction %.2f", estFrac, reachedFrac)
+	}
+	if estFrac > 1.05 {
+		t.Fatalf("HopsSampling over-estimated: %.2f", estFrac)
+	}
+}
+
+func TestOracleDistancesUnbiased(t *testing.T) {
+	// §V's probe: with exact BFS distances the extrapolation recovers the
+	// true size. Average over several runs to wash out reply randomness.
+	const n = 10000
+	net := hetNet(n, 8)
+	e := New(Default(), xrand.New(9))
+	initiator, _ := net.RandomPeer(xrand.New(10))
+	sum := 0.0
+	const runs = 20
+	for i := 0; i < runs; i++ {
+		est, err := e.EstimateWithOracleDistances(net, initiator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += est
+	}
+	mean := sum / runs
+	if math.Abs(mean-n)/n > 0.1 {
+		t.Fatalf("oracle-distance mean estimate %.0f, truth %d (polling should be unbiased)", mean, n)
+	}
+}
+
+func TestCloseNodesAlwaysReply(t *testing.T) {
+	// With minHopsReporting far above any gossip distance, every reached
+	// node replies with probability 1 and weight 1, so the estimate equals
+	// the reached count exactly.
+	g := graph.Clique(30)
+	net := overlay.New(g, 29, nil)
+	cfg := Default()
+	cfg.MinHopsReporting = 1000
+	e := New(cfg, xrand.New(11))
+	est, diag, err := e.EstimateFrom(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fan-out-2 gossip reaches ρ ≈ 0.8 of the nodes even on a clique.
+	if diag.Reached < 15 {
+		t.Fatalf("reached only %d of 30 on a clique", diag.Reached)
+	}
+	if diag.Replies != diag.Reached-1 {
+		t.Fatalf("replies = %d, want %d", diag.Replies, diag.Reached-1)
+	}
+	if est != float64(diag.Reached) {
+		t.Fatalf("estimate = %g, want %d", est, diag.Reached)
+	}
+}
+
+func TestReplyCostRoutedVsDirect(t *testing.T) {
+	// Routed replies must cost strictly more than direct ones on a graph
+	// with diameter > minHops... any graph with distances >= 2 works.
+	const n = 10000
+	run := func(routed bool) uint64 {
+		net := hetNet(n, 12)
+		cfg := Default()
+		cfg.RoutedReplies = routed
+		e := New(cfg, xrand.New(13))
+		initiator, _ := net.RandomPeer(xrand.New(14))
+		if _, _, err := e.EstimateFrom(net, initiator); err != nil {
+			t.Fatal(err)
+		}
+		return net.Counter().Count(metrics.KindReply)
+	}
+	direct := run(false)
+	routed := run(true)
+	if routed <= direct {
+		t.Fatalf("routed reply cost %d not above direct %d", routed, direct)
+	}
+}
+
+func TestOverheadOrderN(t *testing.T) {
+	// Text: a single shot costs O(2N) with direct replies. Check the
+	// spread alone stays within a small multiple of N.
+	const n = 20000
+	net := hetNet(n, 15)
+	cfg := Default()
+	cfg.RoutedReplies = false
+	e := New(cfg, xrand.New(16))
+	initiator, _ := net.RandomPeer(xrand.New(17))
+	if _, _, err := e.EstimateFrom(net, initiator); err != nil {
+		t.Fatal(err)
+	}
+	total := float64(net.Counter().Total())
+	if total < 0.5*n || total > 4*n {
+		t.Fatalf("single-shot cost = %.0f messages, want O(2N) with N=%d", total, n)
+	}
+}
+
+func TestEmptyOverlay(t *testing.T) {
+	g := graph.NewWithNodes(1)
+	g.RemoveNode(0)
+	net := overlay.New(g, 10, nil)
+	e := New(Default(), xrand.New(18))
+	if _, err := e.Estimate(net); !errors.Is(err, ErrEmptyOverlay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadInitiator(t *testing.T) {
+	net := hetNet(10, 19)
+	id, _ := net.RandomPeer(xrand.New(20))
+	net.Leave(id)
+	e := New(Default(), xrand.New(21))
+	if _, _, err := e.EstimateFrom(net, id); err == nil {
+		t.Fatal("dead initiator accepted")
+	}
+	if _, err := e.EstimateWithOracleDistances(net, id); err == nil {
+		t.Fatal("dead initiator accepted by oracle probe")
+	}
+	if _, err := e.ReachedFraction(net, id); err == nil {
+		t.Fatal("dead initiator accepted by ReachedFraction")
+	}
+}
+
+func TestIsolatedInitiator(t *testing.T) {
+	g := graph.NewWithNodes(5)
+	g.AddEdge(1, 2)
+	net := overlay.New(g, 10, nil)
+	e := New(Default(), xrand.New(22))
+	est, diag, err := e.EstimateFrom(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 1 || diag.Reached != 1 {
+		t.Fatalf("isolated initiator: est=%g reached=%d, want 1/1", est, diag.Reached)
+	}
+}
+
+func TestSpreadStaysInComponent(t *testing.T) {
+	g := graph.NewWithNodes(20)
+	for i := graph.NodeID(0); i < 9; i++ {
+		g.AddEdge(i, i+1) // component 0..9 (path)
+	}
+	for i := graph.NodeID(10); i < 19; i++ {
+		g.AddEdge(i, i+1) // component 10..19
+	}
+	net := overlay.New(g, 10, nil)
+	e := New(Default(), xrand.New(23))
+	_, diag, err := e.EstimateFrom(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Reached > 10 {
+		t.Fatalf("spread leaked across components: reached %d", diag.Reached)
+	}
+}
+
+func TestScratchReuseAcrossRuns(t *testing.T) {
+	// Two estimations on the same estimator must not contaminate each
+	// other through the versioned scratch arrays.
+	net := hetNet(2000, 24)
+	e := New(Default(), xrand.New(25))
+	a, err := e.Estimate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Estimate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both estimates must be plausible (within a factor 2 of the truth);
+	// stale state would typically produce near-zero or absurd values.
+	for _, est := range []float64{a, b} {
+		if est < 500 || est > 5000 {
+			t.Fatalf("implausible estimate %g on 2000-node overlay", est)
+		}
+	}
+}
+
+func TestScratchGrowsWithJoins(t *testing.T) {
+	net := hetNet(100, 26)
+	e := New(Default(), xrand.New(27))
+	if _, err := e.Estimate(net); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(28)
+	for i := 0; i < 500; i++ {
+		net.JoinRandomDegree(rng)
+	}
+	if _, err := e.Estimate(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInversePow(t *testing.T) {
+	cases := []struct {
+		base, exp int
+		want      float64
+	}{
+		{2, 0, 1}, {2, 1, 0.5}, {2, 3, 0.125}, {3, 2, 1.0 / 9},
+	}
+	for _, c := range cases {
+		if got := inversePow(c.base, c.exp); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("inversePow(%d,%d) = %g, want %g", c.base, c.exp, got, c.want)
+		}
+	}
+}
+
+func TestHigherFanoutReachesMore(t *testing.T) {
+	const n = 5000
+	frac := func(fanout int) float64 {
+		net := hetNet(n, 29)
+		cfg := Default()
+		cfg.GossipTo = fanout
+		e := New(cfg, xrand.New(30))
+		initiator, _ := net.RandomPeer(xrand.New(31))
+		f, err := e.ReachedFraction(net, initiator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if f2, f4 := frac(2), frac(4); f4 <= f2 {
+		t.Fatalf("fanout 4 reached %.2f, not above fanout 2's %.2f", f4, f2)
+	}
+}

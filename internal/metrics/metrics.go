@@ -1,0 +1,201 @@
+// Package metrics implements the cost-accounting side of the comparative
+// study. The paper's simulator "counts the messages over the network"; the
+// Counter here is that meter, broken down by message kind so that the
+// per-algorithm overhead decomposition of §IV-E (spread messages, reply
+// messages, random-walk hops, push/pull exchanges) can be reported.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind labels a category of simulated message for overhead accounting.
+type Kind uint8
+
+// Message kinds used by the three candidate algorithms.
+const (
+	// KindWalk is one hop of a Sample&Collide random walk.
+	KindWalk Kind = iota
+	// KindSampleReturn is a sampled node reporting its id to the initiator.
+	KindSampleReturn
+	// KindGossipSpread is one HopsSampling poll-dissemination message.
+	KindGossipSpread
+	// KindReply is one HopsSampling response message (or one hop of a
+	// routed response).
+	KindReply
+	// KindPush is the push half of an Aggregation exchange.
+	KindPush
+	// KindPull is the pull half of an Aggregation exchange.
+	KindPull
+	// KindControl is protocol control traffic (epoch restarts, probes).
+	KindControl
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"walk", "sample-return", "gossip-spread", "reply", "push", "pull", "control",
+}
+
+// AllKinds returns every defined message kind.
+func AllKinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// String returns the human-readable kind label.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Counter tallies messages by kind. The zero value is ready to use.
+// It is not safe for concurrent use; simulations are single-threaded per
+// experiment and parallel experiments own separate counters.
+type Counter struct {
+	counts [numKinds]uint64
+}
+
+// Inc records one message of the given kind.
+func (c *Counter) Inc(k Kind) { c.counts[k]++ }
+
+// Add records n messages of the given kind.
+func (c *Counter) Add(k Kind, n uint64) { c.counts[k] += n }
+
+// Count returns the number of messages recorded for kind k.
+func (c *Counter) Count(k Kind) uint64 { return c.counts[k] }
+
+// Total returns the number of messages recorded across all kinds —
+// the paper's overhead figure for an estimation.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for _, v := range c.counts {
+		t += v
+	}
+	return t
+}
+
+// Reset zeroes all counts.
+func (c *Counter) Reset() { c.counts = [numKinds]uint64{} }
+
+// Snapshot returns a copy of the counter, for before/after deltas.
+func (c *Counter) Snapshot() Counter { return *c }
+
+// DiffTotal returns the total messages recorded since the snapshot was
+// taken.
+func (c *Counter) DiffTotal(snap Counter) uint64 {
+	return c.Total() - snap.Total()
+}
+
+// Diff returns per-kind messages recorded since the snapshot was taken.
+func (c *Counter) Diff(snap Counter) Counter {
+	var out Counter
+	for k := range c.counts {
+		out.counts[k] = c.counts[k] - snap.counts[k]
+	}
+	return out
+}
+
+// Merge adds the counts of o into c.
+func (c *Counter) Merge(o *Counter) {
+	for k := range c.counts {
+		c.counts[k] += o.counts[k]
+	}
+}
+
+// String renders the nonzero counts, sorted by kind, e.g.
+// "walk=480000 sample-return=6300 (total 486300)".
+func (c *Counter) String() string {
+	var parts []string
+	for k := Kind(0); k < numKinds; k++ {
+		if c.counts[k] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, c.counts[k]))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no messages)"
+	}
+	return fmt.Sprintf("%s (total %d)", strings.Join(parts, " "), c.Total())
+}
+
+// Series records an (x, y) time series for one plotted curve, e.g.
+// estimation quality against estimation index or round number.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YRange returns the minimum and maximum Y values (0, 0 if empty).
+func (s *Series) YRange() (lo, hi float64) {
+	if len(s.Y) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Y[0], s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return lo, hi
+}
+
+// Recorder collects named series produced during an experiment.
+// The zero value is ready to use.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// Series returns (creating if necessary) the series with the given name.
+func (r *Recorder) Series(name string) *Series {
+	if r.series == nil {
+		r.series = make(map[string]*Series)
+	}
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	return s
+}
+
+// Record appends an (x, y) point to the named series.
+func (r *Recorder) Record(name string, x, y float64) {
+	r.Series(name).Append(x, y)
+}
+
+// All returns the recorded series in first-recorded order.
+func (r *Recorder) All() []*Series {
+	out := make([]*Series, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.series[name])
+	}
+	return out
+}
+
+// Names returns the recorded series names in sorted order.
+func (r *Recorder) Names() []string {
+	names := make([]string, len(r.order))
+	copy(names, r.order)
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,166 @@
+// Package overlay models the peer-to-peer overlay that the three size
+// estimation algorithms run on: a set of live peers connected by an
+// unstructured graph, a metered message-passing surface, and the join /
+// leave operations that create the paper's dynamic scenarios.
+//
+// Per the paper (§IV-A): links are bidirectional, joins wire a node to a
+// random set of neighbors under the degree cap, and departures do NOT
+// trigger re-linking ("nodes that have lost one or several neighbors do
+// not create new links"), which is what degrades connectivity in the
+// shrinking experiments. A repairing leave is provided as an extension
+// for the ablation study.
+package overlay
+
+import (
+	"fmt"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/xrand"
+)
+
+// NodeID aliases the graph node identifier.
+type NodeID = graph.NodeID
+
+// Network is an overlay of live peers. It owns the message meter: all
+// protocol traffic must be recorded through Send/SendN so that overhead
+// comparisons across algorithms are consistent.
+type Network struct {
+	g       *graph.Graph
+	counter *metrics.Counter
+	maxDeg  int
+}
+
+// New wraps an existing topology into a Network with the given degree cap
+// for future joins. The counter may be shared across algorithm instances.
+func New(g *graph.Graph, maxDeg int, counter *metrics.Counter) *Network {
+	if g == nil {
+		panic("overlay: nil graph")
+	}
+	if maxDeg < 1 {
+		panic("overlay: maxDeg < 1")
+	}
+	if counter == nil {
+		counter = &metrics.Counter{}
+	}
+	return &Network{g: g, counter: counter, maxDeg: maxDeg}
+}
+
+// Graph exposes the underlying topology (read access for protocols,
+// mutation reserved to Join/Leave and test setup).
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Counter returns the message meter.
+func (n *Network) Counter() *metrics.Counter { return n.counter }
+
+// MaxDegree returns the join-time degree cap.
+func (n *Network) MaxDegree() int { return n.maxDeg }
+
+// Size returns the true current number of live peers — the hidden
+// quantity the estimators try to recover.
+func (n *Network) Size() int { return n.g.NumAlive() }
+
+// Send meters one message of the given kind.
+func (n *Network) Send(kind metrics.Kind) { n.counter.Inc(kind) }
+
+// SendN meters count messages of the given kind.
+func (n *Network) SendN(kind metrics.Kind, count uint64) { n.counter.Add(kind, count) }
+
+// RandomPeer returns a uniformly random live peer, or (graph.None, false)
+// if the overlay is empty.
+func (n *Network) RandomPeer(rng *xrand.Rand) (NodeID, bool) {
+	return n.g.RandomAlive(rng)
+}
+
+// RandomNeighbor returns a uniformly random neighbor of id.
+func (n *Network) RandomNeighbor(id NodeID, rng *xrand.Rand) (NodeID, bool) {
+	return n.g.RandomNeighbor(id, rng)
+}
+
+// Degree returns the current degree of a live peer.
+func (n *Network) Degree(id NodeID) int { return n.g.Degree(id) }
+
+// Alive reports whether id is currently a live peer.
+func (n *Network) Alive(id NodeID) bool { return n.g.Alive(id) }
+
+// Join adds a new peer wired to up to target random live peers that are
+// below the degree cap, and returns its ID. Target is clamped to [1,
+// MaxDegree]. Wiring is best effort on a crowded overlay, like the
+// builders.
+func (n *Network) Join(target int, rng *xrand.Rand) NodeID {
+	if target < 1 {
+		target = 1
+	}
+	if target > n.maxDeg {
+		target = n.maxDeg
+	}
+	id := n.g.AddNode()
+	attempts := 0
+	const maxAttempts = 200
+	for n.g.Degree(id) < target && attempts < maxAttempts {
+		v, ok := n.g.RandomAlive(rng)
+		if !ok {
+			break
+		}
+		if v == id || n.g.Degree(v) >= n.maxDeg || n.g.HasEdge(id, v) {
+			attempts++
+			continue
+		}
+		n.g.AddEdge(id, v)
+	}
+	return id
+}
+
+// JoinRandomDegree adds a peer with a target degree drawn uniformly from
+// [1, MaxDegree], matching the heterogeneous construction of §IV-A.
+func (n *Network) JoinRandomDegree(rng *xrand.Rand) NodeID {
+	return n.Join(rng.IntRange(1, n.maxDeg), rng)
+}
+
+// Leave removes a peer using the paper's rule: incident links vanish and
+// the bereaved neighbors are NOT rewired.
+func (n *Network) Leave(id NodeID) {
+	if !n.g.Alive(id) {
+		panic(fmt.Sprintf("overlay: Leave of dead peer %d", id))
+	}
+	n.g.RemoveNode(id)
+}
+
+// LeaveRandom removes a uniformly random live peer and returns its ID,
+// or (graph.None, false) if the overlay is empty.
+func (n *Network) LeaveRandom(rng *xrand.Rand) (NodeID, bool) {
+	id, ok := n.g.RandomAlive(rng)
+	if !ok {
+		return graph.None, false
+	}
+	n.Leave(id)
+	return id, true
+}
+
+// LeaveWithRepair removes a peer and then gives each bereaved neighbor one
+// replacement link to a random live peer under the cap. This is NOT the
+// paper's behaviour; it exists for the churn-repair ablation, which shows
+// how much of Aggregation's shrinking-scenario failure is due to
+// connectivity loss.
+func (n *Network) LeaveWithRepair(id NodeID, rng *xrand.Rand) {
+	if !n.g.Alive(id) {
+		panic(fmt.Sprintf("overlay: LeaveWithRepair of dead peer %d", id))
+	}
+	bereaved := append([]NodeID(nil), n.g.Neighbors(id)...)
+	n.g.RemoveNode(id)
+	for _, b := range bereaved {
+		attempts := 0
+		for attempts < 50 {
+			v, ok := n.g.RandomAlive(rng)
+			if !ok {
+				return
+			}
+			if v == b || n.g.Degree(v) >= n.maxDeg || n.g.HasEdge(b, v) {
+				attempts++
+				continue
+			}
+			n.g.AddEdge(b, v)
+			break
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package randomtour
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+func hetNet(n int, seed uint64) *overlay.Network {
+	return overlay.New(graph.Heterogeneous(n, 10, xrand.New(seed)), 10, nil)
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{{Tours: 0}, {Tours: 1, MaxHops: -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg, xrand.New(1))
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil rng did not panic")
+			}
+		}()
+		New(Default(), nil)
+	}()
+}
+
+func TestName(t *testing.T) {
+	e := New(Config{Tours: 4}, xrand.New(1))
+	if e.Name() != "random-tour(tours=4)" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Config().Tours != 4 {
+		t.Fatal("Config not returned")
+	}
+}
+
+func TestUnbiasedOnClique(t *testing.T) {
+	// On a clique return times are geometric and the estimator's
+	// expectation is exactly N; with many averaged tours the estimate
+	// must concentrate.
+	const n = 50
+	net := overlay.New(graph.Clique(n), n, nil)
+	e := New(Config{Tours: 400}, xrand.New(2))
+	est, err := e.EstimateFrom(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-n)/n > 0.15 {
+		t.Fatalf("clique estimate %.1f, truth %d", est, n)
+	}
+}
+
+func TestUnbiasedOnHeterogeneousGraph(t *testing.T) {
+	// Heterogeneous degrees are the hard case: the 1/deg accumulator and
+	// the deg(i) factor must cancel the bias exactly.
+	const n = 300
+	net := hetNet(n, 3)
+	e := New(Config{Tours: 600}, xrand.New(4))
+	initiator, _ := net.RandomPeer(xrand.New(5))
+	est, err := e.EstimateFrom(net, initiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-n)/n > 0.2 {
+		t.Fatalf("estimate %.1f, truth %d", est, n)
+	}
+}
+
+func TestUnbiasedOnRing(t *testing.T) {
+	// Ring: all degrees 2, Φ = T/2, E[T] = N → mean estimate N. Return
+	// times on a ring have huge variance, so average many tours on a
+	// small ring.
+	const n = 20
+	net := overlay.New(graph.Ring(n), 2, nil)
+	e := New(Config{Tours: 2000}, xrand.New(6))
+	est, err := e.EstimateFrom(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-n)/n > 0.25 {
+		t.Fatalf("ring estimate %.1f, truth %d", est, n)
+	}
+}
+
+func TestTourCostScalesLinearly(t *testing.T) {
+	// E[T_return] = 2|E|/deg(i): tours on a 4× larger overlay should cost
+	// roughly 4× more messages. This is the weakness that motivated
+	// Sample&Collide.
+	cost := func(n int) float64 {
+		net := hetNet(n, 7)
+		e := New(Config{Tours: 50}, xrand.New(8))
+		initiator, _ := net.RandomPeer(xrand.New(9))
+		if _, err := e.EstimateFrom(net, initiator); err != nil {
+			t.Fatal(err)
+		}
+		return float64(net.Counter().Count(metrics.KindWalk))
+	}
+	small, large := cost(500), cost(2000)
+	ratio := large / small
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("cost ratio for 4x nodes = %.2f, want ≈4", ratio)
+	}
+}
+
+func TestEmptyOverlay(t *testing.T) {
+	g := graph.NewWithNodes(1)
+	g.RemoveNode(0)
+	net := overlay.New(g, 10, nil)
+	if _, err := New(Default(), xrand.New(10)).Estimate(net); !errors.Is(err, ErrEmptyOverlay) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIsolatedInitiator(t *testing.T) {
+	g := graph.NewWithNodes(3)
+	g.AddEdge(1, 2)
+	net := overlay.New(g, 10, nil)
+	if _, err := New(Default(), xrand.New(11)).EstimateFrom(net, 0); !errors.Is(err, ErrIsolatedInitiator) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadInitiator(t *testing.T) {
+	net := hetNet(10, 12)
+	id, _ := net.RandomPeer(xrand.New(13))
+	net.Leave(id)
+	if _, err := New(Default(), xrand.New(14)).EstimateFrom(net, id); err == nil {
+		t.Fatal("dead initiator accepted")
+	}
+}
+
+func TestHopBudgetExceeded(t *testing.T) {
+	net := hetNet(1000, 15)
+	e := New(Config{Tours: 1, MaxHops: 3}, xrand.New(16))
+	initiator, _ := net.RandomPeer(xrand.New(17))
+	// With a 3-hop budget on a 1000-node overlay the walk essentially
+	// never returns; expect ErrNoReturn (a lucky immediate return is
+	// possible but vanishingly rare at this seed — assert the error).
+	if _, err := e.EstimateFrom(net, initiator); !errors.Is(err, ErrNoReturn) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		net := hetNet(200, 18)
+		e := New(Config{Tours: 20}, xrand.New(19))
+		initiator, _ := net.RandomPeer(xrand.New(20))
+		est, err := e.EstimateFrom(net, initiator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestMoreToursLowerVariance(t *testing.T) {
+	const n = 400
+	spread := func(tours int) float64 {
+		net := hetNet(n, 21)
+		e := New(Config{Tours: tours}, xrand.New(22))
+		initiator, _ := net.RandomPeer(xrand.New(23))
+		var min, max float64 = math.Inf(1), math.Inf(-1)
+		for i := 0; i < 8; i++ {
+			est, err := e.EstimateFrom(net, initiator)
+			if err != nil {
+				t.Fatal(err)
+			}
+			min = math.Min(min, est)
+			max = math.Max(max, est)
+		}
+		return (max - min) / n
+	}
+	if s1, s50 := spread(1), spread(50); s50 >= s1 {
+		t.Fatalf("averaging did not reduce spread: 1 tour %.2f vs 50 tours %.2f", s1, s50)
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2psize/internal/xrand"
+)
+
+func TestEngineOrdersByTime(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(5, func() { got = append(got, 5) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(3, func() { got = append(got, 3) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("processed %d events", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("order = %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order at %d: %v...", i, got[:i+1])
+		}
+	}
+}
+
+func TestEngineAfterAndNestedScheduling(t *testing.T) {
+	var e Engine
+	var got []Time
+	e.After(2, func() {
+		got = append(got, e.Now())
+		e.After(3, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("times = %v", got)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(4, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule in the past did not panic")
+		}
+	}()
+	e.Schedule(2, func() {})
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After(-1) did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	var e Engine
+	fired := map[Time]bool{}
+	for _, at := range []Time{1, 5, 10} {
+		at := at
+		e.Schedule(at, func() { fired[at] = true })
+	}
+	n := e.RunUntil(5)
+	if n != 2 || !fired[1] || !fired[5] || fired[10] {
+		t.Fatalf("n=%d fired=%v", n, fired)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	// Resume to completion.
+	if n := e.Run(); n != 1 || !fired[10] {
+		t.Fatalf("resume n=%d fired=%v", n, fired)
+	}
+}
+
+func TestRunUntilAdvancesTimeOnEmptyQueue(t *testing.T) {
+	var e Engine
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("Now = %d, want 42", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	ran := false
+	ev := e.Schedule(3, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.Cancel(nil)
+	if n := e.Run(); n != 0 || ran {
+		t.Fatalf("cancelled event ran (n=%d)", n)
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(1, func() { got = append(got, 1) })
+	ev := e.Schedule(2, func() { got = append(got, 2) })
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Cancel(ev)
+	e.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 4 {
+				e.Halt()
+			}
+		})
+	}
+	if n := e.RunUntil(100); n != 4 {
+		t.Fatalf("processed %d, want 4", n)
+	}
+	// Halt must not advance time to the deadline.
+	if e.Now() != 3 {
+		t.Fatalf("Now = %d, want 3", e.Now())
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("Pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.Schedule(1, func() { ran++ })
+	if !e.Step() || ran != 1 {
+		t.Fatal("Step did not run the event")
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestEventOrderProperty(t *testing.T) {
+	// Whatever random times events are scheduled at, execution times must
+	// be non-decreasing and count must match.
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		n := int(nRaw)%64 + 1
+		var e Engine
+		var times []Time
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(50))
+			e.Schedule(at, func() { times = append(times, e.Now()) })
+		}
+		if e.Run() != n || len(times) != n {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundDriver(t *testing.T) {
+	var rounds []int
+	d := RoundDriver{Tick: func(r int) { rounds = append(rounds, r) }}
+	if n := d.Run(5); n != 5 {
+		t.Fatalf("ran %d rounds", n)
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("rounds = %v", rounds)
+		}
+	}
+}
+
+func TestRoundDriverBeforeStops(t *testing.T) {
+	ticks := 0
+	d := RoundDriver{
+		Tick:   func(int) { ticks++ },
+		Before: func(r int) bool { return r < 3 },
+	}
+	if n := d.Run(10); n != 3 || ticks != 3 {
+		t.Fatalf("n=%d ticks=%d", n, ticks)
+	}
+}
+
+func TestRoundDriverAfterStops(t *testing.T) {
+	ticks := 0
+	d := RoundDriver{
+		Tick:  func(int) { ticks++ },
+		After: func(r int) bool { return r != 2 },
+	}
+	if n := d.Run(10); n != 3 || ticks != 3 {
+		t.Fatalf("n=%d ticks=%d", n, ticks)
+	}
+}
+
+func TestRoundDriverNoTickPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RoundDriver without Tick did not panic")
+		}
+	}()
+	(&RoundDriver{}).Run(1)
+}

@@ -1,0 +1,124 @@
+package stats
+
+import "sort"
+
+// IntHistogram counts occurrences of small non-negative integers, such as
+// node degrees. The zero value is ready to use.
+type IntHistogram struct {
+	counts []int
+	total  int
+}
+
+// Add increments the count for v. Negative values panic.
+func (h *IntHistogram) Add(v int) {
+	if v < 0 {
+		panic("stats: IntHistogram.Add with negative value")
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns the number of occurrences of v (0 if never seen).
+func (h *IntHistogram) Count(v int) int {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations.
+func (h *IntHistogram) Total() int { return h.total }
+
+// Max returns the largest value with a nonzero count (-1 if empty).
+func (h *IntHistogram) Max() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the mean observed value (0 if empty).
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// NonZero returns the (value, count) pairs with count > 0 in increasing
+// value order — the format of the paper's log-log degree plot (Fig 7).
+func (h *IntHistogram) NonZero() (values, counts []int) {
+	for v, c := range h.counts {
+		if c > 0 {
+			values = append(values, v)
+			counts = append(counts, c)
+		}
+	}
+	return values, counts
+}
+
+// CCDF returns, for each distinct observed value v, the fraction of
+// observations >= v. Useful for verifying power-law tails.
+func (h *IntHistogram) CCDF() (values []int, frac []float64) {
+	values, counts := h.NonZero()
+	if h.total == 0 {
+		return nil, nil
+	}
+	frac = make([]float64, len(values))
+	cum := 0
+	for i := len(values) - 1; i >= 0; i-- {
+		cum += counts[i]
+		frac[i] = float64(cum) / float64(h.total)
+	}
+	return values, frac
+}
+
+// Bucketed is a fixed-boundary histogram over float64 observations.
+type Bucketed struct {
+	bounds []float64 // sorted upper bounds; last bucket is unbounded
+	counts []int
+	total  int
+}
+
+// NewBucketed builds a histogram whose bucket i holds values <= bounds[i]
+// (and greater than bounds[i-1]); one extra overflow bucket holds the rest.
+// Bounds must be strictly increasing and nonempty.
+func NewBucketed(bounds []float64) *Bucketed {
+	if len(bounds) == 0 {
+		panic("stats: NewBucketed with no bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: NewBucketed bounds not strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Bucketed{bounds: b, counts: make([]int, len(bounds)+1)}
+}
+
+// Add folds an observation into the histogram.
+func (b *Bucketed) Add(x float64) {
+	i := sort.SearchFloat64s(b.bounds, x)
+	b.counts[i]++
+	b.total++
+}
+
+// Counts returns a copy of the per-bucket counts, overflow bucket last.
+func (b *Bucketed) Counts() []int {
+	out := make([]int, len(b.counts))
+	copy(out, b.counts)
+	return out
+}
+
+// Total returns the number of observations.
+func (b *Bucketed) Total() int { return b.total }

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2psize/internal/xrand"
+)
+
+func TestIntHistogramBasics(t *testing.T) {
+	var h IntHistogram
+	if h.Total() != 0 || h.Max() != -1 || h.Mean() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, v := range []int{1, 3, 3, 7} {
+		h.Add(v)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(3) != 2 || h.Count(1) != 1 || h.Count(0) != 0 || h.Count(100) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if h.Max() != 7 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if !almostEqual(h.Mean(), 3.5, 1e-12) {
+		t.Fatalf("Mean = %g", h.Mean())
+	}
+	if h.Count(-1) != 0 {
+		t.Fatal("negative Count should be 0")
+	}
+}
+
+func TestIntHistogramAddNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var h IntHistogram
+	h.Add(-1)
+}
+
+func TestIntHistogramNonZero(t *testing.T) {
+	var h IntHistogram
+	h.Add(2)
+	h.Add(2)
+	h.Add(5)
+	values, counts := h.NonZero()
+	if len(values) != 2 || values[0] != 2 || values[1] != 5 {
+		t.Fatalf("values = %v", values)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestIntHistogramCCDF(t *testing.T) {
+	var h IntHistogram
+	for _, v := range []int{1, 2, 2, 4} {
+		h.Add(v)
+	}
+	values, frac := h.CCDF()
+	// P(X>=1)=1, P(X>=2)=0.75, P(X>=4)=0.25
+	want := map[int]float64{1: 1, 2: 0.75, 4: 0.25}
+	for i, v := range values {
+		if !almostEqual(frac[i], want[v], 1e-12) {
+			t.Fatalf("CCDF(%d) = %g, want %g", v, frac[i], want[v])
+		}
+	}
+	var empty IntHistogram
+	if v, f := empty.CCDF(); v != nil || f != nil {
+		t.Fatal("empty CCDF should be nil")
+	}
+}
+
+func TestIntHistogramCCDFMonotone(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		var h IntHistogram
+		for i := 0; i < int(nRaw)+1; i++ {
+			h.Add(rng.Intn(20))
+		}
+		_, frac := h.CCDF()
+		for i := 1; i < len(frac); i++ {
+			if frac[i] > frac[i-1] {
+				return false
+			}
+		}
+		return len(frac) == 0 || almostEqual(frac[0], 1, 1e-12) == (h.Count(0) > 0 || frac[0] == 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketed(t *testing.T) {
+	b := NewBucketed([]float64{1, 2, 5})
+	for _, x := range []float64{0.5, 1, 1.5, 3, 10} {
+		b.Add(x)
+	}
+	counts := b.Counts()
+	// <=1: {0.5, 1}; <=2: {1.5}; <=5: {3}; overflow: {10}
+	want := []int{2, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if b.Total() != 5 {
+		t.Fatalf("Total = %d", b.Total())
+	}
+}
+
+func TestBucketedPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":        func() { NewBucketed(nil) },
+		"nonmonotonic": func() { NewBucketed([]float64{1, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBucketedTotalInvariant(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		rng := xrand.New(seed)
+		b := NewBucketed([]float64{0.25, 0.5, 0.75})
+		n := int(nRaw)
+		for i := 0; i < n; i++ {
+			b.Add(rng.Float64())
+		}
+		sum := 0
+		for _, c := range b.Counts() {
+			sum += c
+		}
+		return sum == n && b.Total() == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

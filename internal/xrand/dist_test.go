@@ -1,0 +1,243 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpMean(t *testing.T) {
+	r := New(101)
+	for _, lambda := range []float64{0.5, 1, 2, 10} {
+		sum := 0.0
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			v := r.Exp(lambda)
+			if v < 0 {
+				t.Fatalf("Exp(%g) returned negative %g", lambda, v)
+			}
+			sum += v
+		}
+		mean := sum / draws
+		want := 1 / lambda
+		if math.Abs(mean-want) > 0.05*want {
+			t.Fatalf("Exp(%g) mean = %g, want ~%g", lambda, mean, want)
+		}
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(103)
+	p := 0.25
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Geometric(p)
+		if v < 0 {
+			t.Fatalf("Geometric returned negative %d", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / draws
+	want := (1 - p) / p // mean of the failures-before-success geometric
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("Geometric(%g) mean = %g, want ~%g", p, mean, want)
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(105)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 0 {
+			t.Fatalf("Geometric(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(107)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("Norm mean = %g, want ~10", mean)
+	}
+	if math.Abs(variance-4) > 0.2 {
+		t.Fatalf("Norm variance = %g, want ~4", variance)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(109)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		sum := 0.0
+		const draws = 50000
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / draws
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Fatalf("Poisson(%g) mean = %g", mean, got)
+		}
+	}
+	if v := New(1).Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+}
+
+func TestZipfSupport(t *testing.T) {
+	r := New(111)
+	z := NewZipf(100, 1.2)
+	counts := make([]int, 101)
+	for i := 0; i < 50000; i++ {
+		v := z.Draw(r)
+		if v < 1 || v > 100 {
+			t.Fatalf("Zipf draw %d out of [1,100]", v)
+		}
+		counts[v]++
+	}
+	// Rank 1 must dominate rank 10 which must dominate rank 100.
+	if !(counts[1] > counts[10] && counts[10] > counts[100]) {
+		t.Fatalf("Zipf not monotone: c1=%d c10=%d c100=%d", counts[1], counts[10], counts[100])
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(113)
+	z := NewZipf(10, 0)
+	counts := make([]int, 11)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(r)]++
+	}
+	for k := 1; k <= 10; k++ {
+		f := float64(counts[k]) / draws
+		if math.Abs(f-0.1) > 0.01 {
+			t.Fatalf("Zipf(s=0) rank %d frequency %g, want ~0.1", k, f)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(115)
+	w := []float64{1, 0, 3, -2, 6}
+	counts := make([]int, len(w))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.WeightedChoice(w)]++
+	}
+	if counts[1] != 0 || counts[3] != 0 {
+		t.Fatalf("zero/negative weights were drawn: %v", counts)
+	}
+	// Expected proportions 1:3:6 over total 10.
+	for i, want := range map[int]float64{0: 0.1, 2: 0.3, 4: 0.6} {
+		f := float64(counts[i]) / draws
+		if math.Abs(f-want) > 0.02 {
+			t.Fatalf("weight %d frequency %g, want ~%g", i, f, want)
+		}
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedChoice with zero total did not panic")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, 0})
+}
+
+func TestSampleKDistinct(t *testing.T) {
+	check := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 1)
+		s := New(seed).SampleK(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleKFull(t *testing.T) {
+	s := New(1).SampleK(10, 10)
+	seen := make([]bool, 10)
+	for _, v := range s {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("SampleK(10,10) missed %d", i)
+		}
+	}
+}
+
+func TestSampleKUniform(t *testing.T) {
+	// Each of 10 items should appear in a size-3 sample with prob 3/10.
+	r := New(117)
+	counts := make([]int, 10)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		for _, v := range r.SampleK(10, 3) {
+			counts[v]++
+		}
+	}
+	for i, c := range counts {
+		f := float64(c) / draws
+		if math.Abs(f-0.3) > 0.02 {
+			t.Fatalf("item %d inclusion frequency %g, want ~0.3", i, f)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(1000003)
+	}
+	_ = sink
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exp(7.2)
+	}
+	_ = sink
+}

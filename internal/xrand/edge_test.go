@@ -1,0 +1,135 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt31n(t *testing.T) {
+	r := New(201)
+	seen := map[int32]bool{}
+	for i := 0; i < 5000; i++ {
+		v := r.Int31n(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Int31n(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Int31n covered %d of 7 values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int31n(0) did not panic")
+		}
+	}()
+	r.Int31n(0)
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntRange(5, 4) did not panic")
+		}
+	}()
+	New(1).IntRange(5, 4)
+}
+
+func TestBool(t *testing.T) {
+	r := New(203)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if f := float64(trues) / draws; math.Abs(f-0.5) > 0.01 {
+		t.Fatalf("Bool true-rate = %g", f)
+	}
+}
+
+func TestUint64nPowerOfTwoPath(t *testing.T) {
+	r := New(205)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(16); v >= 16 {
+			t.Fatalf("Uint64n(16) = %d", v)
+		}
+	}
+	// Tiny modulus exercises the rejection threshold loop.
+	counts := make([]int, 3)
+	for i := 0; i < 90000; i++ {
+		counts[r.Uint64n(3)]++
+	}
+	for v, c := range counts {
+		if f := float64(c) / 90000; math.Abs(f-1.0/3) > 0.01 {
+			t.Fatalf("Uint64n(3) value %d frequency %g", v, f)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%g) did not panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestNewZipfPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0": func() { NewZipf(0, 1) },
+		"s<0": func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSampleKPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k<0": func() { New(1).SampleK(5, -1) },
+		"k>n": func() { New(1).SampleK(5, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	if got := New(2).SampleK(5, 0); len(got) != 0 {
+		t.Fatalf("SampleK(5,0) = %v", got)
+	}
+}
+
+func TestWeightedChoiceSingle(t *testing.T) {
+	r := New(207)
+	for i := 0; i < 100; i++ {
+		if got := r.WeightedChoice([]float64{0, 5, 0}); got != 1 {
+			t.Fatalf("WeightedChoice = %d", got)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator and the sampling distributions used throughout the simulator.
+//
+// The simulator must be reproducible: every experiment is parameterized by
+// a single seed, and re-running it yields byte-identical series. The
+// standard library's global math/rand source is deliberately avoided; each
+// simulation component owns an independent *Rand stream derived from the
+// experiment seed via Split, so adding randomness to one component never
+// perturbs the draws seen by another.
+//
+// The core generator is PCG-XSL-RR 128/64 (the permuted congruential
+// generator of O'Neill, same family as Go's math/rand/v2 PCG), implemented
+// on top of math/bits 128-bit arithmetic.
+package xrand
+
+import "math/bits"
+
+// 128-bit LCG multiplier used by PCG-XSL-RR 128/64.
+const (
+	mulHi = 0x2360ed051fc65da4
+	mulLo = 0x4385df649fccf645
+
+	incHi = 0x5851f42d4c957f2d
+	incLo = 0x14057b7ef767814f
+)
+
+// Rand is a PCG-XSL-RR 128/64 pseudo-random number generator.
+// It is not safe for concurrent use; derive per-goroutine streams
+// with Split instead of sharing one instance.
+type Rand struct {
+	hi, lo uint64
+}
+
+// New returns a generator seeded with seed. Two generators built from the
+// same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the deterministic state derived from seed.
+func (r *Rand) Seed(seed uint64) {
+	// Mix the seed through SplitMix64 twice so that close seeds
+	// (0, 1, 2, ...) yield unrelated initial states.
+	r.hi = splitmix64(seed)
+	r.lo = splitmix64(seed + 0x9e3779b97f4a7c15)
+	// Advance a few steps so the first outputs are already well mixed.
+	r.Uint64()
+	r.Uint64()
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator; it is used only
+// for seeding and splitting.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	// state = state*mul + inc  (128-bit arithmetic)
+	hi, lo := bits.Mul64(r.lo, mulLo)
+	hi += r.hi*mulLo + r.lo*mulHi
+	lo, c := bits.Add64(lo, incLo, 0)
+	hi, _ = bits.Add64(hi, incHi, c)
+	r.hi, r.lo = hi, lo
+	// XSL-RR output permutation.
+	return bits.RotateLeft64(hi^lo, -int(hi>>58))
+}
+
+// Split returns a new generator whose stream is statistically independent
+// of r's. It draws entropy from r, so Split is itself deterministic.
+func (r *Rand) Split() *Rand {
+	s := &Rand{
+		hi: splitmix64(r.Uint64()),
+		lo: splitmix64(r.Uint64()),
+	}
+	s.Uint64()
+	return s
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// Lemire's multiply-shift rejection method avoids modulo bias.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two: mask
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int31n returns a uniform int32 in [0, n). It panics if n <= 0.
+func (r *Rand) Int31n(n int32) int32 {
+	if n <= 0 {
+		panic("xrand: Int31n with n <= 0")
+	}
+	return int32(r.Uint64n(uint64(n)))
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform value in the open interval (0, 1],
+// suitable for passing to math.Log without a zero-argument hazard.
+func (r *Rand) Float64Open() float64 {
+	return (float64(r.Uint64()>>11) + 1) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0, 1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Shuffle permutes the n elements addressed by swap using Fisher-Yates.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// PermInto fills p (reused across calls to avoid allocation) with a random
+// permutation of [0, len(p)).
+func (r *Rand) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+}

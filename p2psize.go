@@ -1,0 +1,488 @@
+// Package p2psize estimates the size of large, dynamic peer-to-peer
+// overlay networks with fully decentralized algorithms, reproducing the
+// comparative study of Le Merrer, Kermarrec & Massoulié (HPDC 2006),
+// "Peer to peer size estimation in large and dynamic networks".
+//
+// Three candidate algorithms are provided, one per family of generic
+// (topology-agnostic) counting approaches:
+//
+//   - Sample&Collide (random-walk class): uniform sampling by
+//     continuous-time random walk plus the inverted birthday paradox.
+//   - HopsSampling (probabilistic-polling class): gossip a poll, count
+//     probabilistic replies weighted by hop distance.
+//   - Aggregation (epidemic class): push-pull averaging of a one-hot
+//     value; converges to 1/N at every node.
+//
+// All three run on a simulated overlay (Network) built over random
+// graphs, driven by a deterministic seed, with every protocol message
+// metered so accuracy/overhead trade-offs can be compared — the paper's
+// methodology, packaged as a library.
+//
+// # Quick start
+//
+//	net, _ := p2psize.NewNetwork(p2psize.NetworkOptions{Nodes: 10000, Seed: 1})
+//	est := p2psize.NewSampleCollide(p2psize.SampleCollideOptions{L: 200, Seed: 2})
+//	size, _ := est.Estimate(net)
+//	fmt.Printf("≈%.0f peers, %d messages\n", size, net.Messages())
+//
+// The internal packages expose the full simulator (event kernel, churn
+// scenarios, experiment harness for every figure and table of the
+// paper); this package is the stable surface for downstream users.
+package p2psize
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/graph"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/polling"
+	"p2psize/internal/randomtour"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/stats"
+	"p2psize/internal/xrand"
+)
+
+// Topology selects the overlay construction.
+type Topology int
+
+const (
+	// Heterogeneous is the paper's default: every node draws a target
+	// degree uniformly in [1, MaxDegree] (§IV-A); with MaxDegree 10 the
+	// average degree is ≈7.2.
+	Heterogeneous Topology = iota
+	// Homogeneous wires every node to exactly MaxDegree neighbors.
+	Homogeneous
+	// ScaleFree is a Barabási–Albert graph with m = MaxDegree attachments
+	// per arriving node (the paper's Fig 7 uses m = 3).
+	ScaleFree
+	// Ring is a cycle, the degenerate worst case for random-walk mixing.
+	Ring
+	// SmallWorld is a Watts–Strogatz graph: a ring lattice with MaxDegree
+	// neighbors per side and RewireProb rewiring — high clustering with a
+	// small diameter.
+	SmallWorld
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case Heterogeneous:
+		return "heterogeneous"
+	case Homogeneous:
+		return "homogeneous"
+	case ScaleFree:
+		return "scale-free"
+	case Ring:
+		return "ring"
+	case SmallWorld:
+		return "small-world"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// NetworkOptions configures NewNetwork.
+type NetworkOptions struct {
+	// Nodes is the initial overlay size. Required.
+	Nodes int
+	// Topology defaults to Heterogeneous.
+	Topology Topology
+	// MaxDegree is the degree cap (Heterogeneous), exact degree
+	// (Homogeneous) or attachment count (ScaleFree). Default 10
+	// (3 for ScaleFree), matching the paper.
+	MaxDegree int
+	// RewireProb is the SmallWorld rewiring probability beta (default
+	// 0.1); ignored by other topologies.
+	RewireProb float64
+	// Seed drives construction and subsequent churn. Same options, same
+	// network.
+	Seed uint64
+}
+
+// Network is a simulated peer-to-peer overlay with a message meter.
+// It is not safe for concurrent use.
+type Network struct {
+	net *overlay.Network
+	rng *xrand.Rand // churn randomness
+}
+
+// NewNetwork builds an overlay per the options.
+func NewNetwork(opts NetworkOptions) (*Network, error) {
+	if opts.Nodes < 1 {
+		return nil, errors.New("p2psize: NetworkOptions.Nodes must be >= 1")
+	}
+	maxDeg := opts.MaxDegree
+	if maxDeg == 0 {
+		if opts.Topology == ScaleFree {
+			maxDeg = 3
+		} else {
+			maxDeg = 10
+		}
+	}
+	if maxDeg < 1 {
+		return nil, errors.New("p2psize: NetworkOptions.MaxDegree must be >= 1")
+	}
+	rng := xrand.New(opts.Seed)
+	var g *graph.Graph
+	switch opts.Topology {
+	case Heterogeneous:
+		g = graph.Heterogeneous(opts.Nodes, maxDeg, rng)
+	case Homogeneous:
+		if maxDeg >= opts.Nodes {
+			return nil, errors.New("p2psize: homogeneous degree must be < Nodes")
+		}
+		g = graph.Homogeneous(opts.Nodes, maxDeg, rng)
+	case ScaleFree:
+		if opts.Nodes < maxDeg+1 {
+			return nil, errors.New("p2psize: scale-free needs Nodes > MaxDegree")
+		}
+		g = graph.BarabasiAlbert(opts.Nodes, maxDeg, rng)
+		maxDeg = opts.Nodes // joins on scale-free graphs are not degree-capped
+	case Ring:
+		if opts.Nodes < 3 {
+			return nil, errors.New("p2psize: ring needs Nodes >= 3")
+		}
+		g = graph.Ring(opts.Nodes)
+	case SmallWorld:
+		if maxDeg == 10 && opts.MaxDegree == 0 {
+			maxDeg = 4 // lattice k; degree 2k = 8 ≈ the paper's overlays
+		}
+		if opts.Nodes < 2*maxDeg+1 {
+			return nil, errors.New("p2psize: small world needs Nodes > 2*MaxDegree")
+		}
+		beta := opts.RewireProb
+		if beta == 0 {
+			beta = 0.1
+		}
+		if beta < 0 || beta > 1 {
+			return nil, errors.New("p2psize: RewireProb must be in [0,1]")
+		}
+		g = graph.WattsStrogatz(opts.Nodes, maxDeg, beta, rng)
+		maxDeg = 2 * maxDeg
+	default:
+		return nil, fmt.Errorf("p2psize: unknown topology %v", opts.Topology)
+	}
+	return &Network{net: overlay.New(g, maxDeg, nil), rng: rng.Split()}, nil
+}
+
+// Size returns the true current number of live peers — what the
+// estimators try to recover without global knowledge.
+func (n *Network) Size() int { return n.net.Size() }
+
+// Messages returns the total protocol messages metered so far.
+func (n *Network) Messages() uint64 { return n.net.Counter().Total() }
+
+// MessagesByKind returns the per-category message counts (walk hops,
+// gossip spread, replies, push/pull, ...).
+func (n *Network) MessagesByKind() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, k := range metrics.AllKinds() {
+		if c := n.net.Counter().Count(k); c > 0 {
+			out[k.String()] = c
+		}
+	}
+	return out
+}
+
+// ResetMessages zeroes the message meter.
+func (n *Network) ResetMessages() { n.net.Counter().Reset() }
+
+// AvgDegree returns the mean node degree.
+func (n *Network) AvgDegree() float64 { return graph.AvgDegree(n.net.Graph()) }
+
+// MaxObservedDegree returns the largest current node degree.
+func (n *Network) MaxObservedDegree() int { return graph.MaxDegree(n.net.Graph()) }
+
+// IsConnected reports whether the overlay is a single component.
+func (n *Network) IsConnected() bool { return graph.IsConnected(n.net.Graph()) }
+
+// LargestComponent returns the size of the largest connected component.
+func (n *Network) LargestComponent() int { return graph.LargestComponent(n.net.Graph()) }
+
+// DegreeCounts returns (degree, count) pairs over live peers — the data
+// behind the paper's Fig 7.
+func (n *Network) DegreeCounts() (degrees, counts []int) {
+	return graph.DegreeHistogram(n.net.Graph()).NonZero()
+}
+
+// Join adds one peer with a random target degree (uniform in
+// [1, MaxDegree], as in the paper's construction) and returns the new
+// overlay size.
+func (n *Network) Join() int {
+	n.net.JoinRandomDegree(n.rng)
+	return n.Size()
+}
+
+// JoinMany adds k peers.
+func (n *Network) JoinMany(k int) {
+	for i := 0; i < k; i++ {
+		n.net.JoinRandomDegree(n.rng)
+	}
+}
+
+// LeaveRandom removes one uniformly random peer (no neighbor rewiring,
+// per the paper's churn rule) and reports whether a peer was removed.
+func (n *Network) LeaveRandom() bool {
+	_, ok := n.net.LeaveRandom(n.rng)
+	return ok
+}
+
+// LeaveFraction removes the given fraction of current peers (0..1),
+// uniformly at random — a catastrophic failure. Returns the number
+// removed.
+func (n *Network) LeaveFraction(f float64) int {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	k := int(f * float64(n.Size()))
+	removed := 0
+	for i := 0; i < k && n.Size() > 1; i++ {
+		if n.LeaveRandom() {
+			removed++
+		}
+	}
+	return removed
+}
+
+// WriteSnapshot serializes the overlay topology for later reuse.
+func (n *Network) WriteSnapshot(w io.Writer) error {
+	_, err := n.net.Graph().WriteTo(w)
+	return err
+}
+
+// LoadNetwork rebuilds a Network from a snapshot produced by
+// WriteSnapshot. Seed drives subsequent churn; maxDegree caps joins
+// (0 = the paper's 10).
+func LoadNetwork(r io.Reader, maxDegree int, seed uint64) (*Network, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	if maxDegree == 0 {
+		maxDegree = 10
+	}
+	return &Network{net: overlay.New(g, maxDegree, nil), rng: xrand.New(seed)}, nil
+}
+
+// Estimator produces decentralized size estimates for a Network.
+type Estimator interface {
+	// Name identifies the algorithm and its headline parameters.
+	Name() string
+	// Estimate runs one estimation process; its message cost accumulates
+	// on the network's meter.
+	Estimate(n *Network) (float64, error)
+}
+
+// SampleCollideOptions configures NewSampleCollide. Zero values take the
+// paper's defaults (T=10, L=200).
+type SampleCollideOptions struct {
+	// T is the random-walk timer; larger T means less sampling bias and
+	// longer walks.
+	T float64
+	// L is the collision count to stop at; accuracy ~ 1/sqrt(L), cost ~
+	// sqrt(L).
+	L int
+	// UseMLE selects the maximum-likelihood estimate refinement instead
+	// of the paper's X²/(2L).
+	UseMLE bool
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+type scAdapter struct{ e *samplecollide.Estimator }
+
+func (a scAdapter) Name() string { return a.e.Name() }
+func (a scAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// NewSampleCollide builds the random-walk estimator (§III-A).
+func NewSampleCollide(opts SampleCollideOptions) Estimator {
+	cfg := samplecollide.Default()
+	if opts.T > 0 {
+		cfg.T = opts.T
+	}
+	if opts.L > 0 {
+		cfg.L = opts.L
+	}
+	if opts.UseMLE {
+		cfg.Kind = samplecollide.MLE
+	}
+	return scAdapter{samplecollide.New(cfg, xrand.New(opts.Seed))}
+}
+
+// HopsSamplingOptions configures NewHopsSampling. Zero values take the
+// paper's defaults (gossipTo=2, gossipFor=1, gossipUntil=1,
+// minHopsReporting=5, routed replies).
+type HopsSamplingOptions struct {
+	// GossipTo is the per-round gossip fan-out.
+	GossipTo int
+	// MinHopsReporting is the always-reply distance threshold.
+	MinHopsReporting int
+	// DirectReplies sends responses straight to the initiator (1 message)
+	// instead of routing them back hop-by-hop.
+	DirectReplies bool
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+type hopsAdapter struct{ e *hopssampling.Estimator }
+
+func (a hopsAdapter) Name() string { return a.e.Name() }
+func (a hopsAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// NewHopsSampling builds the probabilistic-polling estimator (§III-B).
+func NewHopsSampling(opts HopsSamplingOptions) Estimator {
+	cfg := hopssampling.Default()
+	if opts.GossipTo > 0 {
+		cfg.GossipTo = opts.GossipTo
+	}
+	if opts.MinHopsReporting > 0 {
+		cfg.MinHopsReporting = opts.MinHopsReporting
+	}
+	if opts.DirectReplies {
+		cfg.RoutedReplies = false
+	}
+	return hopsAdapter{hopssampling.New(cfg, xrand.New(opts.Seed))}
+}
+
+// AggregationOptions configures NewAggregation. Zero values take the
+// paper's defaults (50 rounds per estimation).
+type AggregationOptions struct {
+	// Rounds is the push-pull rounds run per estimation.
+	Rounds int
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+type aggAdapter struct{ e *aggregation.Estimator }
+
+func (a aggAdapter) Name() string { return a.e.Name() }
+func (a aggAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// NewAggregation builds the epidemic averaging estimator (§III-C).
+func NewAggregation(opts AggregationOptions) Estimator {
+	cfg := aggregation.Default()
+	if opts.Rounds > 0 {
+		cfg.RoundsPerEpoch = opts.Rounds
+	}
+	return aggAdapter{aggregation.NewEstimator(cfg, xrand.New(opts.Seed))}
+}
+
+// RandomTourOptions configures NewRandomTour. Zero values take single-
+// tour defaults.
+type RandomTourOptions struct {
+	// Tours is the number of independent tours averaged per estimation.
+	Tours int
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+type tourAdapter struct{ e *randomtour.Estimator }
+
+func (a tourAdapter) Name() string { return a.e.Name() }
+func (a tourAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// NewRandomTour builds the return-time random-walk estimator from the
+// study's background section (§II) — the method Sample&Collide was
+// chosen over. One tour costs Θ(N·d̄/deg) messages, so it mainly serves
+// as a comparison baseline.
+func NewRandomTour(opts RandomTourOptions) Estimator {
+	cfg := randomtour.Default()
+	if opts.Tours > 0 {
+		cfg.Tours = opts.Tours
+	}
+	return tourAdapter{randomtour.New(cfg, xrand.New(opts.Seed))}
+}
+
+// PollingOptions configures NewPolling. Zero values take the defaults
+// (p = 0.01, routed replies).
+type PollingOptions struct {
+	// ResponseProb is the probability each probed node replies with.
+	ResponseProb float64
+	// DirectReplies prices replies at one message instead of their hop
+	// distance.
+	DirectReplies bool
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+type pollAdapter struct{ e *polling.Estimator }
+
+func (a pollAdapter) Name() string { return a.e.Name() }
+func (a pollAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// NewPolling builds the plain probabilistic-polling baseline (§II):
+// flood a probe, count replies sent with a fixed probability.
+func NewPolling(opts PollingOptions) Estimator {
+	cfg := polling.Default()
+	if opts.ResponseProb > 0 {
+		cfg.ResponseProb = opts.ResponseProb
+	}
+	if opts.DirectReplies {
+		cfg.RoutedReplies = false
+	}
+	return pollAdapter{polling.New(cfg, xrand.New(opts.Seed))}
+}
+
+// Smoothed wraps an estimator with the paper's lastKruns heuristic: each
+// Estimate reports the mean of the last k raw estimates (k = 10 is the
+// paper's "last10runs").
+func Smoothed(e Estimator, k int) Estimator {
+	if k < 1 {
+		k = 10
+	}
+	return &smoothed{inner: e, win: stats.NewWindow(k), k: k}
+}
+
+type smoothed struct {
+	inner Estimator
+	win   *stats.Window
+	k     int
+}
+
+func (s *smoothed) Name() string {
+	return fmt.Sprintf("%s/last%druns", s.inner.Name(), s.k)
+}
+
+func (s *smoothed) Estimate(n *Network) (float64, error) {
+	raw, err := s.inner.Estimate(n)
+	if err != nil {
+		return 0, err
+	}
+	s.win.Add(raw)
+	return s.win.Mean(), nil
+}
+
+// RunRepeated performs runs consecutive estimations and returns the raw
+// values. Overhead accumulates on the network meter.
+func RunRepeated(e Estimator, n *Network, runs int) ([]float64, error) {
+	if runs < 1 {
+		return nil, errors.New("p2psize: RunRepeated needs runs >= 1")
+	}
+	out := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		v, err := e.Estimate(n)
+		if err != nil {
+			return out, fmt.Errorf("p2psize: run %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,334 @@
+package p2psize
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustNet(t *testing.T, opts NetworkOptions) *Network {
+	t.Helper()
+	n, err := NewNetwork(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkDefaults(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 5000, Seed: 1})
+	if n.Size() != 5000 {
+		t.Fatalf("Size = %d", n.Size())
+	}
+	// Paper: heterogeneous max 10 → average ≈ 7.2.
+	if d := n.AvgDegree(); d < 6 || d > 8.5 {
+		t.Fatalf("AvgDegree = %.2f", d)
+	}
+	if n.MaxObservedDegree() > 10 {
+		t.Fatalf("MaxObservedDegree = %d", n.MaxObservedDegree())
+	}
+	if !n.IsConnected() {
+		t.Fatal("default network disconnected")
+	}
+	if n.Messages() != 0 {
+		t.Fatal("fresh network has metered messages")
+	}
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	bad := []NetworkOptions{
+		{Nodes: 0},
+		{Nodes: 10, MaxDegree: -1},
+		{Nodes: 10, Topology: Homogeneous, MaxDegree: 10},
+		{Nodes: 2, Topology: ScaleFree, MaxDegree: 3},
+		{Nodes: 2, Topology: Ring},
+		{Nodes: 10, Topology: Topology(99)},
+	}
+	for _, opts := range bad {
+		if _, err := NewNetwork(opts); err == nil {
+			t.Fatalf("options %+v accepted", opts)
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	for topo, want := range map[Topology]string{
+		Heterogeneous: "heterogeneous",
+		Homogeneous:   "homogeneous",
+		ScaleFree:     "scale-free",
+		Ring:          "ring",
+	} {
+		if topo.String() != want {
+			t.Fatalf("%d.String() = %q", topo, topo.String())
+		}
+	}
+	if !strings.Contains(Topology(42).String(), "42") {
+		t.Fatal("unknown topology string")
+	}
+}
+
+func TestScaleFreeNetwork(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 5000, Topology: ScaleFree, Seed: 2})
+	if d := n.AvgDegree(); math.Abs(d-6) > 1 {
+		t.Fatalf("BA m=3 average degree = %.2f, want ≈6", d)
+	}
+	if n.MaxObservedDegree() < 50 {
+		t.Fatalf("no hub: max degree %d", n.MaxObservedDegree())
+	}
+	degrees, counts := n.DegreeCounts()
+	if len(degrees) == 0 || len(degrees) != len(counts) {
+		t.Fatal("DegreeCounts broken")
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := mustNet(t, NetworkOptions{Nodes: 1000, Seed: 7})
+	b := mustNet(t, NetworkOptions{Nodes: 1000, Seed: 7})
+	if a.AvgDegree() != b.AvgDegree() {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestChurnOperations(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 1000, Seed: 3})
+	if got := n.Join(); got != 1001 {
+		t.Fatalf("Join -> %d", got)
+	}
+	n.JoinMany(99)
+	if n.Size() != 1100 {
+		t.Fatalf("after JoinMany: %d", n.Size())
+	}
+	if !n.LeaveRandom() {
+		t.Fatal("LeaveRandom failed")
+	}
+	removed := n.LeaveFraction(0.25)
+	if removed < 270 || removed > 280 {
+		t.Fatalf("LeaveFraction removed %d", removed)
+	}
+	if n.LeaveFraction(-1) != 0 {
+		t.Fatal("negative fraction removed peers")
+	}
+	if n.LargestComponent() < 1 {
+		t.Fatal("no component left")
+	}
+}
+
+func TestAllEstimatorsOnStaticNetwork(t *testing.T) {
+	const size = 3000
+	cases := []struct {
+		est Estimator
+		tol float64
+	}{
+		{NewSampleCollide(SampleCollideOptions{L: 100, Seed: 11}), 0.3},
+		{NewHopsSampling(HopsSamplingOptions{Seed: 12}), 0.45},
+		{NewAggregation(AggregationOptions{Seed: 13}), 0.05},
+	}
+	for _, c := range cases {
+		n := mustNet(t, NetworkOptions{Nodes: size, Seed: 4})
+		got, err := c.est.Estimate(n)
+		if err != nil {
+			t.Fatalf("%s: %v", c.est.Name(), err)
+		}
+		if math.Abs(got-size)/size > c.tol {
+			t.Fatalf("%s estimate %.0f, truth %d", c.est.Name(), got, size)
+		}
+		if n.Messages() == 0 {
+			t.Fatalf("%s metered no messages", c.est.Name())
+		}
+	}
+}
+
+func TestEstimatorNamesAndOptions(t *testing.T) {
+	if name := NewSampleCollide(SampleCollideOptions{L: 10}).Name(); !strings.Contains(name, "l=10") {
+		t.Fatalf("name = %q", name)
+	}
+	if name := NewHopsSampling(HopsSamplingOptions{MinHopsReporting: 3}).Name(); !strings.Contains(name, "minHops=3") {
+		t.Fatalf("name = %q", name)
+	}
+	if name := NewAggregation(AggregationOptions{Rounds: 40}).Name(); !strings.Contains(name, "rounds=40") {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestMLEOption(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 2000, Seed: 5})
+	est := NewSampleCollide(SampleCollideOptions{L: 100, UseMLE: true, Seed: 14})
+	got, err := est.Estimate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2000)/2000 > 0.3 {
+		t.Fatalf("MLE estimate %.0f", got)
+	}
+}
+
+func TestMessagesByKind(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 500, Seed: 6})
+	if _, err := NewSampleCollide(SampleCollideOptions{L: 20, Seed: 15}).Estimate(n); err != nil {
+		t.Fatal(err)
+	}
+	byKind := n.MessagesByKind()
+	if byKind["walk"] == 0 || byKind["sample-return"] == 0 {
+		t.Fatalf("MessagesByKind = %v", byKind)
+	}
+	n.ResetMessages()
+	if n.Messages() != 0 {
+		t.Fatal("ResetMessages did not clear")
+	}
+}
+
+func TestSmoothedEstimator(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 2000, Seed: 8})
+	raw := NewSampleCollide(SampleCollideOptions{L: 20, Seed: 16})
+	sm := Smoothed(raw, 10)
+	if !strings.Contains(sm.Name(), "last10runs") {
+		t.Fatalf("name = %q", sm.Name())
+	}
+	vals, err := RunRepeated(sm, n, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoothed tail must be closer to truth than the worst raw run
+	// typically is; just check it is plausible.
+	last := vals[len(vals)-1]
+	if math.Abs(last-2000)/2000 > 0.25 {
+		t.Fatalf("smoothed estimate %.0f", last)
+	}
+	if def := Smoothed(raw, 0); !strings.Contains(def.Name(), "last10runs") {
+		t.Fatal("Smoothed default k != 10")
+	}
+}
+
+func TestRunRepeatedValidation(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 100, Seed: 9})
+	if _, err := RunRepeated(NewSampleCollide(SampleCollideOptions{L: 5, Seed: 17}), n, 0); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 800, Seed: 10})
+	var buf bytes.Buffer
+	if err := n.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadNetwork(&buf, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != 800 || loaded.AvgDegree() != n.AvgDegree() {
+		t.Fatalf("loaded size %d avg %.2f", loaded.Size(), loaded.AvgDegree())
+	}
+	// Churn still works on a loaded network.
+	loaded.JoinMany(5)
+	if loaded.Size() != 805 {
+		t.Fatal("join on loaded network failed")
+	}
+	if _, err := LoadNetwork(strings.NewReader("garbage"), 0, 1); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 100, Topology: Ring, Seed: 11})
+	if n.AvgDegree() != 2 {
+		t.Fatalf("ring avg degree = %g", n.AvgDegree())
+	}
+	// Sampling on a ring needs a huge T to mix; with the default T the
+	// estimate is biased but the call must still work.
+	if _, err := NewSampleCollide(SampleCollideOptions{L: 5, Seed: 18}).Estimate(n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomogeneousTopology(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 2000, Topology: Homogeneous, MaxDegree: 8, Seed: 12})
+	if d := n.AvgDegree(); math.Abs(d-8) > 0.5 {
+		t.Fatalf("homogeneous avg degree = %.2f", d)
+	}
+}
+
+func TestSmallWorldTopology(t *testing.T) {
+	n := mustNet(t, NetworkOptions{Nodes: 3000, Topology: SmallWorld, Seed: 15})
+	// Default lattice k=4 → degree ≈8.
+	if d := n.AvgDegree(); math.Abs(d-8) > 0.2 {
+		t.Fatalf("small-world avg degree = %.2f, want ≈8", d)
+	}
+	if !n.IsConnected() {
+		t.Fatal("small-world disconnected")
+	}
+	if SmallWorld.String() != "small-world" {
+		t.Fatalf("String = %q", SmallWorld.String())
+	}
+	// Estimators work on it (the generally-applicable claim).
+	est := NewSampleCollide(SampleCollideOptions{L: 100, Seed: 22})
+	got, err := est.Estimate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-3000)/3000 > 0.35 {
+		t.Fatalf("estimate %.0f on small world", got)
+	}
+	// Validation paths.
+	if _, err := NewNetwork(NetworkOptions{Nodes: 5, Topology: SmallWorld, MaxDegree: 4}); err == nil {
+		t.Fatal("tiny small world accepted")
+	}
+	if _, err := NewNetwork(NetworkOptions{Nodes: 100, Topology: SmallWorld, RewireProb: 2}); err == nil {
+		t.Fatal("RewireProb > 1 accepted")
+	}
+}
+
+func TestRandomTourEstimator(t *testing.T) {
+	const size = 500
+	n := mustNet(t, NetworkOptions{Nodes: size, Seed: 13})
+	est := NewRandomTour(RandomTourOptions{Tours: 200, Seed: 19})
+	if !strings.Contains(est.Name(), "tours=200") {
+		t.Fatalf("name = %q", est.Name())
+	}
+	got, err := est.Estimate(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-size)/size > 0.3 {
+		t.Fatalf("random tour estimate %.0f, truth %d", got, size)
+	}
+	if n.Messages() == 0 {
+		t.Fatal("no messages metered")
+	}
+}
+
+func TestPollingEstimator(t *testing.T) {
+	const size = 4000
+	n := mustNet(t, NetworkOptions{Nodes: size, Seed: 14})
+	est := NewPolling(PollingOptions{ResponseProb: 0.1, Seed: 20})
+	if !strings.Contains(est.Name(), "p=0.1") {
+		t.Fatalf("name = %q", est.Name())
+	}
+	sum := 0.0
+	for i := 0; i < 5; i++ {
+		got, err := est.Estimate(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+	}
+	if mean := sum / 5; math.Abs(mean-size)/size > 0.1 {
+		t.Fatalf("polling mean estimate %.0f, truth %d", mean, size)
+	}
+	// Direct replies must meter fewer messages than routed.
+	n.ResetMessages()
+	direct := NewPolling(PollingOptions{ResponseProb: 0.1, DirectReplies: true, Seed: 21})
+	if _, err := direct.Estimate(n); err != nil {
+		t.Fatal(err)
+	}
+	directCost := n.Messages()
+	n.ResetMessages()
+	routed := NewPolling(PollingOptions{ResponseProb: 0.1, Seed: 21})
+	if _, err := routed.Estimate(n); err != nil {
+		t.Fatal(err)
+	}
+	if n.Messages() <= directCost {
+		t.Fatalf("routed cost %d not above direct %d", n.Messages(), directCost)
+	}
+}
