@@ -80,6 +80,31 @@ func reportQuality(b *testing.B, fig *experiments.Figure) {
 	}
 }
 
+// BenchmarkSuite runs the whole registered experiment set through the
+// parallel suite runner at bench scale and writes BENCH_results.json —
+// the same schema cmd/figures emits as REPORT.json (per-experiment wall
+// time, message counts, series checksums) — so the perf trajectory is
+// tracked PR-over-PR; CI uploads the file as an artifact.
+func BenchmarkSuite(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		report, _, err := experiments.RunSuite(nil, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := report.WriteFile("BENCH_results.json"); err != nil {
+				b.Fatal(err)
+			}
+			var msgs uint64
+			for _, e := range report.Experiments {
+				msgs += e.Messages
+			}
+			b.ReportMetric(float64(msgs), "msgs-total")
+		}
+	}
+}
+
 func BenchmarkFig01SampleCollide100k(b *testing.B) { benchFigure(b, "fig01") }
 func BenchmarkFig02SampleCollide1M(b *testing.B)   { benchFigure(b, "fig02") }
 func BenchmarkFig03Hops100k(b *testing.B)          { benchFigure(b, "fig03") }
@@ -105,7 +130,7 @@ func BenchmarkTableIOverhead(b *testing.B) {
 	p := benchParams()
 	for i := 0; i < b.N; i++ {
 		p.Seed = uint64(i + 1)
-		rows, err := experiments.TableIRows(p)
+		rows, _, err := experiments.TableIRows(p)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,7 +1,13 @@
 // Command figures regenerates every table and figure of the paper's
-// evaluation section (§IV): it runs the registered experiments and writes
-// gnuplot .dat series, CSV files and a notes summary into the output
-// directory, optionally with terminal ASCII previews.
+// evaluation section (§IV): it runs the registered experiments on a
+// deterministic parallel worker pool and writes gnuplot .dat series, CSV
+// files, a notes summary and a machine-readable REPORT.json (wall times,
+// message counts, series checksums) into the output directory, optionally
+// with terminal ASCII previews.
+//
+// Output is byte-identical at every -workers setting — runs derive their
+// randomness from the seed and the run index, never from scheduling — so
+// -workers only changes wall time.
 //
 // By default it runs at 1/10 of the paper's scale (the shapes are already
 // stable there); -full switches to the paper's 100,000 / 1,000,000 node
@@ -11,6 +17,7 @@
 //
 //	figures                        # all experiments, 1/10 scale, ./out
 //	figures -only fig05,table1     # a subset
+//	figures -workers 8             # cap the worker pool
 //	figures -full -out paperout    # paper-scale reproduction
 package main
 
@@ -20,7 +27,6 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
-	"time"
 
 	"p2psize/internal/experiments"
 	"p2psize/internal/plot"
@@ -28,13 +34,14 @@ import (
 
 func main() {
 	var (
-		outDir = flag.String("out", "out", "output directory")
-		scale  = flag.Int("scale", 10, "divide the paper's node counts by this factor")
-		full   = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
-		only   = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		ascii  = flag.Bool("ascii", true, "print ASCII previews")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		outDir  = flag.String("out", "out", "output directory")
+		scale   = flag.Int("scale", 10, "divide the paper's node counts by this factor")
+		full    = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		workers = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
+		ascii   = flag.Bool("ascii", true, "print ASCII previews")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
 
@@ -50,27 +57,36 @@ func main() {
 		params = experiments.Defaults()
 	}
 	params.Seed = *seed
+	params.Workers = *workers
 
-	ids := experiments.IDs()
+	var ids []string
 	if *only != "" {
-		ids = strings.Split(*only, ",")
+		for _, id := range strings.Split(*only, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
 
+	report, figs, runErr := experiments.RunSuite(ids, params)
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+
 	var notes strings.Builder
 	fmt.Fprintf(&notes, "# Measured notes (seed %d, N100k=%d, N1M=%d)\n\n",
 		params.Seed, params.N100k, params.N1M)
+	wallByID := make(map[string]float64, len(report.Experiments))
+	for _, e := range report.Experiments {
+		wallByID[e.ID] = e.WallMS
+	}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		start := time.Now()
-		fig, err := experiments.Run(id, params)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", id, err))
+		fig, ok := figs[id]
+		if !ok {
+			continue // failure; reported via runErr below
 		}
-		elapsed := time.Since(start).Round(time.Millisecond)
-		fmt.Printf("== %s: %s (%v)\n", fig.ID, fig.Title, elapsed)
+		fmt.Printf("== %s: %s (%.0fms)\n", fig.ID, fig.Title, wallByID[id])
 		if len(fig.Series) > 0 {
 			writeSeries(*outDir, fig)
 			if *ascii {
@@ -89,7 +105,16 @@ func main() {
 	if err := os.WriteFile(notesPath, []byte(notes.String()), 0o644); err != nil {
 		fatal(err)
 	}
+	reportPath := filepath.Join(*outDir, "REPORT.json")
+	if err := report.WriteFile(reportPath); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("notes written to %s\n", notesPath)
+	fmt.Printf("suite report written to %s (%d experiments, %.0fms total, %d workers)\n",
+		reportPath, len(report.Experiments), report.TotalWallMS, report.Workers)
+	if runErr != nil {
+		fatal(runErr)
+	}
 }
 
 func writeSeries(outDir string, fig *experiments.Figure) {

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"p2psize"
+	"p2psize/internal/xrand"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		runs     = flag.Int("runs", 5, "estimations per algorithm")
 		smooth   = flag.Bool("smooth", false, "apply the last10runs heuristic")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		workers  = flag.Int("workers", 0, "worker pool size for the estimation runs (0 = all CPUs, 1 = sequential); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -41,7 +43,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	estimators, err := buildEstimators(*algo, estOpts{
+	specs, err := buildEstimators(*algo, estOpts{
 		l: *l, timer: *timer, mle: *mle, rounds: *rounds, minHops: *minHops, seed: *seed,
 	})
 	if err != nil {
@@ -58,16 +60,20 @@ func main() {
 	fmt.Printf("overlay ready: %d peers, average degree %.2f, connected=%v\n\n",
 		net.Size(), net.AvgDegree(), net.IsConnected())
 
-	for _, est := range estimators {
-		if *smooth {
-			est = p2psize.Smoothed(est, 10)
-		}
+	for _, spec := range specs {
 		net.ResetMessages()
-		vals, err := p2psize.RunRepeated(est, net, *runs)
+		// Every run builds its own estimator from a run-indexed seed, so
+		// the values are byte-identical at any -workers setting.
+		vals, err := p2psize.RunParallel(spec.make, net, *runs, *workers)
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", est.Name(), err))
+			fatal(fmt.Errorf("%s: %w", spec.name, err))
 		}
-		reportRun(est.Name(), vals, net)
+		name := spec.name
+		if *smooth {
+			vals = p2psize.SmoothLastK(vals, 10)
+			name += "/last10runs"
+		}
+		reportRun(name, vals, net)
 	}
 }
 
@@ -95,37 +101,65 @@ func parseTopology(s string) (p2psize.Topology, error) {
 	}
 }
 
-func buildEstimators(algo string, o estOpts) ([]p2psize.Estimator, error) {
-	sc := p2psize.NewSampleCollide(p2psize.SampleCollideOptions{
-		T: o.timer, L: o.l, UseMLE: o.mle, Seed: o.seed + 100,
-	})
-	hops := p2psize.NewHopsSampling(p2psize.HopsSamplingOptions{
-		MinHopsReporting: o.minHops, Seed: o.seed + 200,
-	})
-	agg := p2psize.NewAggregation(p2psize.AggregationOptions{
-		Rounds: o.rounds, Seed: o.seed + 300,
-	})
-	tour := p2psize.NewRandomTour(p2psize.RandomTourOptions{
-		Tours: 10, Seed: o.seed + 400,
-	})
-	poll := p2psize.NewPolling(p2psize.PollingOptions{
-		Seed: o.seed + 500,
-	})
+// estimatorSpec names an algorithm and builds one independent estimator
+// per run index; run i's seed is drawn from the (base+offset, i) xrand
+// stream, so runs never share a random stream regardless of worker
+// scheduling and no (seed, run) pair collides with another invocation's
+// (the additive base+offset+f(i) scheme would).
+type estimatorSpec struct {
+	name string
+	make func(run int) p2psize.Estimator
+}
+
+func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
+	runSeed := func(offset uint64) func(run int) uint64 {
+		return func(run int) uint64 { return xrand.NewStream(o.seed+offset, uint64(run)).Uint64() }
+	}
+	scSeed, hopsSeed, aggSeed := runSeed(100), runSeed(200), runSeed(300)
+	tourSeed, pollSeed := runSeed(400), runSeed(500)
+	sc := estimatorSpec{"", func(run int) p2psize.Estimator {
+		return p2psize.NewSampleCollide(p2psize.SampleCollideOptions{
+			T: o.timer, L: o.l, UseMLE: o.mle, Seed: scSeed(run),
+		})
+	}}
+	hops := estimatorSpec{"", func(run int) p2psize.Estimator {
+		return p2psize.NewHopsSampling(p2psize.HopsSamplingOptions{
+			MinHopsReporting: o.minHops, Seed: hopsSeed(run),
+		})
+	}}
+	agg := estimatorSpec{"", func(run int) p2psize.Estimator {
+		return p2psize.NewAggregation(p2psize.AggregationOptions{
+			Rounds: o.rounds, Seed: aggSeed(run),
+		})
+	}}
+	tour := estimatorSpec{"", func(run int) p2psize.Estimator {
+		return p2psize.NewRandomTour(p2psize.RandomTourOptions{
+			Tours: 10, Seed: tourSeed(run),
+		})
+	}}
+	poll := estimatorSpec{"", func(run int) p2psize.Estimator {
+		return p2psize.NewPolling(p2psize.PollingOptions{
+			Seed: pollSeed(run),
+		})
+	}}
+	for _, s := range []*estimatorSpec{&sc, &hops, &agg, &tour, &poll} {
+		s.name = s.make(0).Name()
+	}
 	switch strings.ToLower(algo) {
 	case "sc", "samplecollide", "sample-collide":
-		return []p2psize.Estimator{sc}, nil
+		return []estimatorSpec{sc}, nil
 	case "hops", "hopssampling":
-		return []p2psize.Estimator{hops}, nil
+		return []estimatorSpec{hops}, nil
 	case "agg", "aggregation":
-		return []p2psize.Estimator{agg}, nil
+		return []estimatorSpec{agg}, nil
 	case "tour", "randomtour":
-		return []p2psize.Estimator{tour}, nil
+		return []estimatorSpec{tour}, nil
 	case "poll", "polling":
-		return []p2psize.Estimator{poll}, nil
+		return []estimatorSpec{poll}, nil
 	case "all":
-		return []p2psize.Estimator{sc, hops, agg}, nil
+		return []estimatorSpec{sc, hops, agg}, nil
 	case "everything":
-		return []p2psize.Estimator{sc, hops, agg, tour, poll}, nil
+		return []estimatorSpec{sc, hops, agg, tour, poll}, nil
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q (want sc, hops, agg, tour, poll, all or everything)", algo)
 	}

@@ -1,0 +1,3 @@
+module p2psize
+
+go 1.24

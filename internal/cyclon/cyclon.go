@@ -120,8 +120,16 @@ func (p *Protocol) Join(id graph.NodeID) {
 	if _, dup := p.views[id]; dup {
 		panic(fmt.Sprintf("cyclon: node %d already participates", id))
 	}
-	view := make([]entry, 0, p.cfg.ViewSize)
+	// A seeded random sample of participants, not the first map keys:
+	// map order would seed different views on identical runs.
+	ids := make([]graph.NodeID, 0, len(p.views))
 	for other := range p.views {
+		ids = append(ids, other)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	p.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	view := make([]entry, 0, p.cfg.ViewSize)
+	for _, other := range ids {
 		if len(view) == p.cfg.ViewSize {
 			break
 		}
@@ -290,8 +298,11 @@ func (p *Protocol) ExportGraph(maxID int) *graph.Graph {
 			g.RemoveNode(id)
 		}
 	}
-	for id, view := range p.views {
-		for _, e := range view {
+	// Add edges in id order, not map order: adjacency order decides every
+	// later RandomNeighbor draw, so map iteration here would make exported
+	// overlays differ between identically seeded runs.
+	for id := graph.NodeID(0); int(id) < maxID; id++ {
+		for _, e := range p.views[id] {
 			if p.Alive(e.node) {
 				g.AddEdge(id, e.node)
 			}

@@ -260,3 +260,29 @@ func TestDegreeStaysBalanced(t *testing.T) {
 		t.Fatalf("max undirected degree %d for view size %d", max, p.cfg.ViewSize)
 	}
 }
+
+func TestExportGraphRunToRunDeterminism(t *testing.T) {
+	// Regression: export once walked the views map in iteration order, so
+	// identically seeded protocols exported different adjacency orders.
+	build := func() *graph.Graph {
+		g := graph.Heterogeneous(500, 10, xrand.New(3))
+		p := New(Default(), xrand.New(4), nil)
+		p.Bootstrap(g)
+		for r := 0; r < 5; r++ {
+			p.RunRound()
+		}
+		return p.ExportGraph(500)
+	}
+	a, b := build(), build()
+	for id := graph.NodeID(0); int(id) < a.NumIDs(); id++ {
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("degree differs at %d", id)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency order differs at node %d slot %d", id, i)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"p2psize/internal/core"
 	"p2psize/internal/hopssampling"
 	"p2psize/internal/metrics"
+	"p2psize/internal/parallel"
 	"p2psize/internal/samplecollide"
 	"p2psize/internal/xrand"
 )
@@ -57,7 +58,9 @@ func noteTracking(fig *Figure, res *core.DynamicResult) {
 
 // scDynamic is the shared body of Figs 9-11: three concurrent
 // Sample&Collide processes (oneShot, l=200) with one estimate per churn
-// step.
+// step. Each instance runs on its own overlay clone replaying the same
+// churn trajectory, so the three fan out across workers with results
+// identical to the sequential interleaving.
 func scDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(p.N100k, p, stream)
 	instances := make([]core.Estimator, 3)
@@ -65,16 +68,17 @@ func scDynamic(id, title string, scenario churn.Scenario, p Params, stream uint6
 		instances[k] = samplecollide.New(samplecollide.Config{T: 10, L: 200},
 			xrand.New(p.Seed+stream+10+uint64(k)))
 	}
-	res, err := core.RunDynamic(instances, net, core.DynamicConfig{
+	res, err := core.RunDynamicParallel(instances, net, core.DynamicConfig{
 		Scenario:      scenario,
 		EstimateEvery: 1,
-	}, xrand.New(p.Seed+stream+1))
+	}, func() *xrand.Rand { return xrand.New(p.Seed + stream + 1) }, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	fig := &Figure{ID: id, Title: title, XLabel: "Number of estimations", YLabel: "Estimated size"}
 	fig.Series = dynamicSeries(res)
 	noteTracking(fig, res)
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 
@@ -106,17 +110,18 @@ func hopsDynamic(id, title string, scenario churn.Scenario, p Params, stream uin
 		instances[k] = hopssampling.New(hopssampling.Default(),
 			xrand.New(p.Seed+stream+10+uint64(k)))
 	}
-	res, err := core.RunDynamic(instances, net, core.DynamicConfig{
+	res, err := core.RunDynamicParallel(instances, net, core.DynamicConfig{
 		Scenario:      scenario,
 		EstimateEvery: max(1, p.HopsHorizon/100),
 		SmoothLastK:   core.LastK,
-	}, xrand.New(p.Seed+stream+1))
+	}, func() *xrand.Rand { return xrand.New(p.Seed + stream + 1) }, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
 	fig := &Figure{ID: id, Title: title, XLabel: "Time", YLabel: "Size"}
 	fig.Series = dynamicSeries(res)
 	noteTracking(fig, res)
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 
@@ -140,75 +145,97 @@ func fig14(p Params) (*Figure, error) {
 
 // aggDynamic is the shared body of Figs 15-17: three concurrent epoch-
 // restarted Aggregation processes; churn advances every round; estimates
-// are read at each epoch boundary (every EpochLen rounds).
+// are read at each epoch boundary (every EpochLen rounds). Like the other
+// dynamic figures, each process runs on its own overlay clone replaying
+// the identical churn trajectory, so the three fan out across workers.
 func aggDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(p.N100k, p, stream)
 	const instances = 3
-	protos := make([]*aggregation.Protocol, instances)
-	for k := range protos {
-		protos[k] = aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+	type instOut struct {
+		real     *metrics.Series
+		est      *metrics.Series
+		failures int
+		trackSum float64
+		trackN   int
+		counter  *metrics.Counter
+	}
+	outs, err := parallel.Map(p.Workers, instances, func(k int) (instOut, error) {
+		clone := net.Clone()
+		proto := aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
 			xrand.New(p.Seed+stream+10+uint64(k)))
-		if err := protos[k].StartEpoch(net); err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
+		if err := proto.StartEpoch(clone); err != nil {
+			return instOut{}, fmt.Errorf("%s: %w", id, err)
 		}
-	}
-	runner := churn.NewRunner(scenario, xrand.New(p.Seed+stream+1))
-	real := &metrics.Series{Name: "Real size"}
-	estSeries := make([]*metrics.Series, instances)
-	failures := make([]int, instances)
-	var trackErr [instances]struct {
-		sum float64
-		n   int
-	}
-	for k := range estSeries {
-		estSeries[k] = &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)}
-	}
-	for round := 0; round < scenario.TotalSteps; round++ {
-		runner.Step(net, round)
-		if net.Size() == 0 {
-			break
+		runner := churn.NewRunner(scenario, xrand.New(p.Seed+stream+1))
+		o := instOut{
+			real:    &metrics.Series{Name: "Real size"},
+			est:     &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)},
+			counter: clone.Counter(),
 		}
-		for _, proto := range protos {
-			proto.RunRound(net)
-		}
-		// The paper's figures draw the real size continuously but read
-		// estimates only at epoch boundaries; shocks between epochs must
-		// stay visible in the real curve.
-		real.Append(float64(round+1), float64(net.Size()))
-		if (round+1)%p.EpochLen != 0 {
-			continue
-		}
-		x := float64(round + 1)
-		truth := float64(net.Size())
-		for k, proto := range protos {
-			est, ok := proto.Estimate(net)
+		for round := 0; round < scenario.TotalSteps; round++ {
+			runner.Step(clone, round)
+			if clone.Size() == 0 {
+				break
+			}
+			proto.RunRound(clone)
+			// The paper's figures draw the real size continuously but read
+			// estimates only at epoch boundaries; shocks between epochs must
+			// stay visible in the real curve.
+			o.real.Append(float64(round+1), float64(clone.Size()))
+			if (round+1)%p.EpochLen != 0 {
+				continue
+			}
+			x := float64(round + 1)
+			truth := float64(clone.Size())
+			est, ok := proto.Estimate(clone)
 			if !ok {
-				failures[k]++
-				estSeries[k].Append(x, math.NaN())
+				o.failures++
+				o.est.Append(x, math.NaN())
 			} else {
-				estSeries[k].Append(x, est)
+				o.est.Append(x, est)
 				if truth > 0 {
-					trackErr[k].sum += math.Abs(est/truth-1) * 100
-					trackErr[k].n++
+					o.trackSum += math.Abs(est/truth-1) * 100
+					o.trackN++
 				}
 			}
 			// Restart: new tag, values reset, estimate of the finished
 			// epoch was just read.
-			if err := proto.StartEpoch(net); err != nil {
-				return nil, fmt.Errorf("%s: %w", id, err)
+			if err := proto.StartEpoch(clone); err != nil {
+				return instOut{}, fmt.Errorf("%s: %w", id, err)
 			}
 		}
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	fig := &Figure{ID: id, Title: title, XLabel: "#Round", YLabel: "Estimated Size"}
-	fig.Series = append([]*metrics.Series{real}, estSeries...)
-	for k := 0; k < instances; k++ {
-		if trackErr[k].n == 0 {
-			fig.AddNote("estimation #%d produced no usable estimates", k+1)
-			continue
+	fig.Series = []*metrics.Series{outs[0].real}
+	for k, o := range outs {
+		// The figure pairs instance 0's real-size curve with every
+		// instance's estimates, which is only sound if all clones replayed
+		// the identical trajectory (same defensive check as
+		// core.RunDynamicParallel).
+		if o.real.Len() != outs[0].real.Len() {
+			return nil, fmt.Errorf("%s: churn replay diverged at instance %d (%d vs %d rounds)",
+				id, k, o.real.Len(), outs[0].real.Len())
 		}
-		fig.AddNote("estimation #%d mean tracking error %.1f%% (%d lost epochs)",
-			k+1, trackErr[k].sum/float64(trackErr[k].n), failures[k])
+		for i := range o.real.Y {
+			if o.real.Y[i] != outs[0].real.Y[i] {
+				return nil, fmt.Errorf("%s: churn replay diverged at instance %d, round %g",
+					id, k, o.real.X[i])
+			}
+		}
+		fig.Series = append(fig.Series, o.est)
+		if o.trackN == 0 {
+			fig.AddNote("estimation #%d produced no usable estimates", k+1)
+		} else {
+			fig.AddNote("estimation #%d mean tracking error %.1f%% (%d lost epochs)",
+				k+1, o.trackSum/float64(o.trackN), o.failures)
+		}
+		net.Counter().Merge(o.counter)
 	}
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 

@@ -52,6 +52,11 @@ type Params struct {
 	EpochLen int
 	// TableRuns is the number of estimations averaged per Table I row.
 	TableRuns int
+	// Workers caps the worker pool that fans independent estimation runs
+	// (and whole experiments, via RunSuite) across cores: 0 means
+	// runtime.NumCPU(), 1 forces sequential execution. Output is
+	// byte-identical at every setting; Workers only changes wall time.
+	Workers int
 }
 
 // Defaults returns the paper-scale parameters.
@@ -104,6 +109,9 @@ type Figure struct {
 	Series []*metrics.Series
 	// Notes carry measured summaries for EXPERIMENTS.md.
 	Notes []string
+	// Messages is the total protocol traffic metered while producing the
+	// figure — the per-experiment cost reported by the suite runner.
+	Messages uint64
 }
 
 // AddNote appends a formatted note line.

@@ -18,6 +18,7 @@ import (
 	"p2psize/internal/idspace"
 	"p2psize/internal/latency"
 	"p2psize/internal/metrics"
+	"p2psize/internal/parallel"
 	"p2psize/internal/polling"
 	"p2psize/internal/randomtour"
 	"p2psize/internal/samplecollide"
@@ -51,31 +52,40 @@ func extWalks(p Params) (*Figure, error) {
 	// with 2|E|/deg(initiator) and the initiator degree varies 1..10),
 	// so costs are averaged over several estimations per size.
 	const runs = 8
-	for _, n := range []int{base, 2 * base, 4 * base, 8 * base} {
+	sizes := []int{base, 2 * base, 4 * base, 8 * base}
+	type sizeOut struct {
+		rtCost, scCost float64
+		msgs           uint64
+	}
+	// The sweep points are independent overlays; fan them out, and fan the
+	// per-size estimation runs out below them.
+	outs, err := parallel.Map(p.Workers, len(sizes), func(si int) (sizeOut, error) {
+		n := sizes[si]
 		net := hetNet(n, p, 0x3000+uint64(n))
-
-		snap := net.Counter().Snapshot()
-		tour := randomtour.New(randomtour.Config{Tours: 10}, xrand.New(p.Seed+0x3001))
-		for i := 0; i < runs; i++ {
-			if _, err := tour.Estimate(net); err != nil {
-				return nil, fmt.Errorf("ext-walks random tour: %w", err)
-			}
+		rtRes, err := core.RunStaticParallel(func(run int) core.Estimator {
+			return randomtour.New(randomtour.Config{Tours: 10}, xrand.NewStream(p.Seed+0x3001, uint64(run)))
+		}, net, runs, core.LastK, p.Workers)
+		if err != nil {
+			return sizeOut{}, fmt.Errorf("ext-walks random tour: %w", err)
 		}
-		rtCost := float64(net.Counter().DiffTotal(snap)) / runs
-		rt.Append(float64(n), rtCost)
-
-		snap = net.Counter().Snapshot()
-		scEst := samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x3002))
-		for i := 0; i < runs; i++ {
-			if _, err := scEst.Estimate(net); err != nil {
-				return nil, fmt.Errorf("ext-walks sample&collide: %w", err)
-			}
+		scRes, err := core.RunStaticParallel(func(run int) core.Estimator {
+			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x3002, uint64(run)))
+		}, net, runs, core.LastK, p.Workers)
+		if err != nil {
+			return sizeOut{}, fmt.Errorf("ext-walks sample&collide: %w", err)
 		}
-		scCost := float64(net.Counter().DiffTotal(snap)) / runs
-		sc.Append(float64(n), scCost)
-
+		return sizeOut{rtCost: rtRes.MeanOverhead(), scCost: scRes.MeanOverhead(), msgs: net.Counter().Total()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, o := range outs {
+		n := sizes[si]
+		rt.Append(float64(n), o.rtCost)
+		sc.Append(float64(n), o.scCost)
 		fig.AddNote("N=%d: random tour %.0f msgs/est, sample&collide %.0f msgs/est, ratio %.1fx",
-			n, rtCost, scCost, rtCost/scCost)
+			n, o.rtCost, o.scCost, o.rtCost/o.scCost)
+		fig.Messages += o.msgs
 	}
 	fig.Series = []*metrics.Series{rt, sc}
 	return fig, nil
@@ -108,23 +118,45 @@ func extClasses(p Params) (*Figure, error) {
 		{"polling(p=0.01)", polling.New(polling.Default(), xrand.New(p.Seed+0x3105))},
 		{"id-density(k=200)", idspace.New(ring, 200, xrand.New(p.Seed+0x3106))},
 	}
-	for _, c := range candidates {
-		snap := baseNet.Counter().Snapshot()
+	// Candidates share the topology read-only; each runs on its own
+	// metering view so the five can proceed concurrently. Each candidate's
+	// runs stay sequential (a candidate owns one rng) — the candidate
+	// index alone fixes its stream, keeping output worker-count-invariant.
+	type candOut struct {
+		series  *metrics.Series
+		note    string
+		counter metrics.Counter
+	}
+	outs, err := parallel.Map(p.Workers, len(candidates), func(ci int) (candOut, error) {
+		c := candidates[ci]
+		view := baseNet.View()
 		s := &metrics.Series{Name: c.name}
 		var absErr float64
 		for i := 0; i < runs; i++ {
-			est, err := c.est.Estimate(baseNet)
+			est, err := c.est.Estimate(view)
 			if err != nil {
-				return nil, fmt.Errorf("ext-classes %s: %w", c.name, err)
+				return candOut{}, fmt.Errorf("ext-classes %s: %w", c.name, err)
 			}
 			q := 100 * est / float64(n)
 			s.Append(float64(i+1), q)
 			absErr += math.Abs(q - 100)
 		}
-		cost := float64(baseNet.Counter().DiffTotal(snap)) / float64(runs)
-		fig.Series = append(fig.Series, s)
-		fig.AddNote("%s: mean |error| %.1f%%, %.0f msgs/estimation", c.name, absErr/float64(runs), cost)
+		cost := float64(view.Counter().Total()) / float64(runs)
+		return candOut{
+			series:  s,
+			note:    fmt.Sprintf("%s: mean |error| %.1f%%, %.0f msgs/estimation", c.name, absErr/float64(runs), cost),
+			counter: view.Counter().Snapshot(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	for _, o := range outs {
+		fig.Series = append(fig.Series, o.series)
+		fig.AddNote("%s", o.note)
+		baseNet.Counter().Merge(&o.counter)
+	}
+	fig.Messages = baseNet.Counter().Total()
 	return fig, nil
 }
 
@@ -142,18 +174,32 @@ func extDelay(p Params) (*Figure, error) {
 	hops := &metrics.Series{Name: "HopsSampling (gossip + ACK)"}
 	agg := &metrics.Series{Name: "Aggregation (50 synchronous rounds)"}
 	base := max(500, p.N100k/16)
-	for _, n := range []int{base, 2 * base, 4 * base, 8 * base} {
+	sizes := []int{base, 2 * base, 4 * base, 8 * base}
+	type sizeOut struct {
+		c    latency.Comparison
+		msgs uint64
+	}
+	outs, err := parallel.Map(p.Workers, len(sizes), func(si int) (sizeOut, error) {
+		n := sizes[si]
 		net := hetNet(n, p, 0x3200+uint64(n))
 		model := latency.NewEuclidean(net.Graph().NumIDs(), 0.01, xrand.New(p.Seed+0x3201))
 		c, err := latency.CompareAll(net, model, 200, p.EpochLen, xrand.New(p.Seed+0x3202))
 		if err != nil {
-			return nil, fmt.Errorf("ext-delay: %w", err)
+			return sizeOut{}, fmt.Errorf("ext-delay: %w", err)
 		}
-		sc.Append(float64(n), c.SampleCollide)
-		hops.Append(float64(n), c.HopsSampling)
-		agg.Append(float64(n), c.Aggregation)
+		return sizeOut{c: c, msgs: net.Counter().Total()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, o := range outs {
+		n := sizes[si]
+		sc.Append(float64(n), o.c.SampleCollide)
+		hops.Append(float64(n), o.c.HopsSampling)
+		agg.Append(float64(n), o.c.Aggregation)
 		fig.AddNote("N=%d: hops %.1f, aggregation %.1f, sample&collide %.1f (hops wins %.0fx over aggregation)",
-			n, c.HopsSampling, c.Aggregation, c.SampleCollide, c.Aggregation/c.HopsSampling)
+			n, o.c.HopsSampling, o.c.Aggregation, o.c.SampleCollide, o.c.Aggregation/o.c.HopsSampling)
+		fig.Messages += o.msgs
 	}
 	fig.Series = []*metrics.Series{hops, agg, sc}
 	return fig, nil
@@ -226,5 +272,6 @@ func extCyclon(p Params) (*Figure, error) {
 	mean := sum / estRuns
 	fig.AddNote("sample&collide on the CYCLON overlay (mean of %d): %.0f of %d survivors (%+.1f%%)",
 		estRuns, mean, survivors, 100*(mean/float64(survivors)-1))
+	fig.Messages = proto.Counter().Total() + net.Counter().Total()
 	return fig, nil
 }

@@ -9,6 +9,7 @@ import (
 	"p2psize/internal/hopssampling"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/samplecollide"
 	"p2psize/internal/stats"
 	"p2psize/internal/xrand"
@@ -59,11 +60,15 @@ func abs(x float64) float64 {
 	return x
 }
 
-// scStatic is the shared body of Figs 1, 2 and 18.
+// scStatic is the shared body of Figs 1, 2 and 18. The runs are
+// independent estimations, so they fan out across the worker pool: run i
+// draws from the stream (Seed+stream+1, i) regardless of worker count.
 func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(n, p, stream)
-	e := samplecollide.New(samplecollide.Config{T: 10, L: l}, xrand.New(p.Seed+stream+1))
-	res, err := core.RunStatic(e, net, runs, core.LastK)
+	res, err := core.RunStaticParallel(func(run int) core.Estimator {
+		return samplecollide.New(samplecollide.Config{T: 10, L: l},
+			xrand.NewStream(p.Seed+stream+1, uint64(run)))
+	}, net, runs, core.LastK, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
@@ -76,6 +81,7 @@ func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figur
 	oneShot, lastK := qualitySeries(res)
 	fig.Series = []*metrics.Series{lastK, oneShot}
 	noteAccuracy(fig, res)
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 
@@ -97,11 +103,14 @@ func fig18(p Params) (*Figure, error) {
 		p.N100k, 10, p.Fig18Runs, p, 0x1800)
 }
 
-// hopsStatic is the shared body of Figs 3 and 4.
+// hopsStatic is the shared body of Figs 3 and 4; polls fan out like the
+// Sample&Collide runs of scStatic.
 func hopsStatic(id, title string, n, runs int, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(n, p, stream)
-	e := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+1))
-	res, err := core.RunStatic(e, net, runs, core.LastK)
+	res, err := core.RunStaticParallel(func(run int) core.Estimator {
+		return hopssampling.New(hopssampling.Default(),
+			xrand.NewStream(p.Seed+stream+1, uint64(run)))
+	}, net, runs, core.LastK, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
@@ -122,6 +131,7 @@ func hopsStatic(id, title string, n, runs int, p Params, stream uint64) (*Figure
 				100*frac, 100*(1-frac))
 		}
 	}
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 
@@ -138,7 +148,9 @@ func fig04(p Params) (*Figure, error) {
 }
 
 // aggStatic is the shared body of Figs 5 and 6: three independent
-// estimations, quality against round number.
+// estimations, quality against round number. Each estimation owns an
+// Aggregation protocol instance; the three run concurrently on metering
+// views of the shared (static, read-only) overlay.
 func aggStatic(id, title string, n int, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(n, p, stream)
 	fig := &Figure{
@@ -148,18 +160,24 @@ func aggStatic(id, title string, n int, p Params, stream uint64) (*Figure, error
 		YLabel: "Quality %",
 	}
 	trueSize := float64(net.Size())
-	for k := 0; k < 3; k++ {
+	type estOut struct {
+		series    *metrics.Series
+		converged int
+		counter   metrics.Counter
+	}
+	outs, err := parallel.Map(p.Workers, 3, func(k int) (estOut, error) {
+		view := net.View()
 		proto := aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
 			xrand.New(p.Seed+stream+10+uint64(k)))
-		if err := proto.StartEpoch(net); err != nil {
-			return nil, fmt.Errorf("%s: %w", id, err)
+		if err := proto.StartEpoch(view); err != nil {
+			return estOut{}, fmt.Errorf("%s: %w", id, err)
 		}
 		s := &metrics.Series{Name: fmt.Sprintf("Estimation #%d", k+1)}
 		s.Append(0, stats.QualityPct(1, trueSize)) // initiator starts at 1/1
 		converged := -1
 		for round := 1; round <= p.AggStaticRounds; round++ {
-			proto.RunRound(net)
-			est, ok := proto.Estimate(net)
+			proto.RunRound(view)
+			est, ok := proto.Estimate(view)
 			q := 0.0
 			if ok {
 				q = stats.QualityPct(est, trueSize)
@@ -169,13 +187,21 @@ func aggStatic(id, title string, n int, p Params, stream uint64) (*Figure, error
 				converged = round
 			}
 		}
-		fig.Series = append(fig.Series, s)
-		if converged > 0 {
-			fig.AddNote("estimation #%d within 1%% of truth from round %d", k+1, converged)
+		return estOut{series: s, converged: converged, counter: view.Counter().Snapshot()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, o := range outs {
+		fig.Series = append(fig.Series, o.series)
+		if o.converged > 0 {
+			fig.AddNote("estimation #%d within 1%% of truth from round %d", k+1, o.converged)
 		} else {
 			fig.AddNote("estimation #%d did not reach 1%% accuracy in %d rounds", k+1, p.AggStaticRounds)
 		}
+		net.Counter().Merge(&o.counter)
 	}
+	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
 
@@ -222,44 +248,71 @@ func fig08(p Params) (*Figure, error) {
 	runs := p.SCRuns
 	type cand struct {
 		name     string
-		est      core.Estimator
+		make     func(run int) core.Estimator
 		smoothed bool
 	}
 	candidates := []cand{
-		{"Aggregation", aggregation.NewEstimator(
-			aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.New(p.Seed+0x0801)), false},
-		{"Sample&collide", samplecollide.New(
-			samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x0802)), false},
-		{"HopsSampling", hopssampling.New(
-			hopssampling.Default(), xrand.New(p.Seed+0x0803)), true},
+		{"Aggregation", func(run int) core.Estimator {
+			return aggregation.NewEstimator(
+				aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.NewStream(p.Seed+0x0801, uint64(run)))
+		}, false},
+		{"Sample&collide", func(run int) core.Estimator {
+			return samplecollide.New(
+				samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x0802, uint64(run)))
+		}, false},
+		{"HopsSampling", func(run int) core.Estimator {
+			return hopssampling.New(
+				hopssampling.Default(), xrand.NewStream(p.Seed+0x0803, uint64(run)))
+		}, true},
+	}
+	type candOut struct {
+		series   *metrics.Series
+		notes    []string
+		messages uint64
 	}
 	// Fresh topology per candidate (same seed), so one candidate's meter
-	// and rng use cannot perturb another.
-	for _, c := range candidates {
+	// and rng use cannot perturb another; the three candidates run
+	// concurrently, and each one's estimations fan out below them.
+	outs, err := parallel.Map(p.Workers, len(candidates), func(ci int) (candOut, error) {
+		c := candidates[ci]
 		net := scaleFreeNet(p.N100k, p, 0x0800)
+		var out candOut
 		candidateRuns := runs
 		if c.name == "Aggregation" && candidateRuns > 20 {
 			// Each Aggregation estimate costs a full epoch (N·50·2
 			// messages); the curve is flat after convergence, so cap the
 			// points at paper scale. Noted on the figure.
 			candidateRuns = 20
-			fig.AddNote("Aggregation plotted for %d estimations (flat curve, epoch cost N·%d·2)", candidateRuns, p.EpochLen)
+			out.notes = append(out.notes, fmt.Sprintf(
+				"Aggregation plotted for %d estimations (flat curve, epoch cost N·%d·2)", candidateRuns, p.EpochLen))
 		}
-		res, err := core.RunStatic(c.est, net, candidateRuns, core.LastK)
+		res, err := core.RunStaticParallel(c.make, net, candidateRuns, core.LastK, p.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("fig08 %s: %w", c.name, err)
+			return candOut{}, fmt.Errorf("fig08 %s: %w", c.name, err)
 		}
 		q := res.QualityPct(c.smoothed)
 		s := &metrics.Series{Name: c.name}
 		for i := range q {
 			s.Append(float64(i+1), q[i])
 		}
-		fig.Series = append(fig.Series, s)
+		out.series = s
 		var e stats.Running
 		for _, v := range q {
 			e.Add(v - 100)
 		}
-		fig.AddNote("%s mean signed error %.1f%%", c.name, e.Mean())
+		out.notes = append(out.notes, fmt.Sprintf("%s mean signed error %.1f%%", c.name, e.Mean()))
+		out.messages = net.Counter().Total()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		fig.Series = append(fig.Series, o.series)
+		for _, n := range o.notes {
+			fig.AddNote("%s", n)
+		}
+		fig.Messages += o.messages
 	}
 	return fig, nil
 }

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"p2psize/internal/metrics"
+	"p2psize/internal/parallel"
+)
+
+// ReportSchema identifies the JSON layout of SuiteReport; bump it when
+// the shape changes so trajectory tooling can detect incompatible files.
+const ReportSchema = "p2psize-suite-report/v1"
+
+// SeriesSummary condenses one plotted curve to a comparable fingerprint:
+// point count plus an FNV-64a checksum over the exact float64 bits of
+// every (x, y) pair. Two runs produced byte-identical series iff their
+// checksums match, which is how CI and the determinism tests compare
+// figures without storing the full data.
+type SeriesSummary struct {
+	Name     string `json:"name"`
+	Points   int    `json:"points"`
+	Checksum string `json:"checksum"`
+}
+
+// ExperimentReport is the machine-readable record of one experiment run.
+type ExperimentReport struct {
+	ID       string          `json:"id"`
+	Title    string          `json:"title,omitempty"`
+	WallMS   float64         `json:"wall_ms"`
+	Messages uint64          `json:"messages"`
+	Series   []SeriesSummary `json:"series,omitempty"`
+	Notes    int             `json:"notes"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// SuiteReport aggregates a whole suite execution. cmd/figures writes it
+// next to the figure data and the bench harness writes BENCH_results.json
+// in this same schema, so the perf trajectory (wall times, message
+// totals) and the output identity (checksums) are tracked PR-over-PR.
+type SuiteReport struct {
+	Schema      string             `json:"schema"`
+	Seed        uint64             `json:"seed"`
+	Workers     int                `json:"workers"`
+	GoMaxProcs  int                `json:"gomaxprocs"`
+	N100k       int                `json:"n100k"`
+	N1M         int                `json:"n1m"`
+	TotalWallMS float64            `json:"total_wall_ms"`
+	Experiments []ExperimentReport `json:"experiments"`
+}
+
+// ChecksumSeries fingerprints a series; see SeriesSummary.
+func ChecksumSeries(s *metrics.Series) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for i := range s.X {
+		put(s.X[i])
+		put(s.Y[i])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Summarize builds the report entry for one completed figure. Wall time
+// is supplied by the caller (the suite measures it around the run).
+func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
+	r := ExperimentReport{
+		ID:       fig.ID,
+		Title:    fig.Title,
+		WallMS:   float64(wall.Microseconds()) / 1000,
+		Messages: fig.Messages,
+		Notes:    len(fig.Notes),
+	}
+	for _, s := range fig.Series {
+		r.Series = append(r.Series, SeriesSummary{
+			Name:     s.Name,
+			Points:   s.Len(),
+			Checksum: ChecksumSeries(s),
+		})
+	}
+	return r
+}
+
+// RunSuite executes the given experiments (all registered ones if ids is
+// empty) concurrently on the worker pool and returns the report plus the
+// produced figures by id. Individual experiment failures are recorded in
+// the report and returned as one error (lowest id first) after every
+// experiment has run; figures that succeeded are still returned.
+//
+// Every deterministic field of the report — checksums, message counts,
+// series shapes — is byte-identical at any p.Workers setting; only the
+// wall times vary.
+func RunSuite(ids []string, p Params) (*SuiteReport, map[string]*Figure, error) {
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	report := &SuiteReport{
+		Schema:     ReportSchema,
+		Seed:       p.Seed,
+		Workers:    parallel.Resolve(p.Workers),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		N100k:      p.N100k,
+		N1M:        p.N1M,
+	}
+	// Split the worker budget across the two nesting levels instead of
+	// letting every level resolve p.Workers independently (which would
+	// multiply goroutine count — and, at paper scale, resident overlays —
+	// by the suite width). A few experiments run concurrently, each with
+	// the remaining budget for its internal fan-out; results are
+	// worker-count-invariant either way, so the split only shapes load.
+	outer := min(4, parallel.Resolve(p.Workers), len(ids))
+	inner := p
+	inner.Workers = max(1, parallel.Resolve(p.Workers)/outer)
+	figs := make([]*Figure, len(ids))
+	start := time.Now()
+	var firstErr error
+	entries, _ := parallel.Map(outer, len(ids), func(i int) (ExperimentReport, error) {
+		expStart := time.Now()
+		fig, err := Run(ids[i], inner)
+		if err != nil {
+			return ExperimentReport{ID: ids[i], Error: err.Error()}, nil
+		}
+		figs[i] = fig
+		return Summarize(fig, time.Since(expStart)), nil
+	})
+	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
+	report.Experiments = entries
+	out := make(map[string]*Figure, len(ids))
+	for i, fig := range figs {
+		if fig != nil {
+			out[ids[i]] = fig
+		} else if firstErr == nil {
+			firstErr = fmt.Errorf("experiments: %s: %s", ids[i], entries[i].Error)
+		}
+	}
+	return report, out, firstErr
+}
+
+// Sorted returns the report's experiments ordered by id (the suite
+// preserves submission order, which is already sorted when ids was nil).
+func (r *SuiteReport) Sorted() []ExperimentReport {
+	out := append([]ExperimentReport(nil), r.Experiments...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteFile marshals the report as indented JSON at path.
+func (r *SuiteReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

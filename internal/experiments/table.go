@@ -6,6 +6,7 @@ import (
 	"p2psize/internal/aggregation"
 	"p2psize/internal/core"
 	"p2psize/internal/hopssampling"
+	"p2psize/internal/parallel"
 	"p2psize/internal/plot"
 	"p2psize/internal/samplecollide"
 	"p2psize/internal/stats"
@@ -31,47 +32,66 @@ type TableIRow struct {
 // TableIRows measures the four Table I configurations on a fresh
 // heterogeneous overlay of p.N100k nodes, in the paper's column order:
 // S&C oneShot, HopsSampling last10runs, S&C last10runs, Aggregation.
-func TableIRows(p Params) ([]TableIRow, error) {
-	var rows []TableIRow
-
-	// Sample&Collide l=200 (one run set feeds both heuristics).
-	scNet := hetNet(p.N100k, p, 0x2000)
-	sc := samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x2001))
-	scRes, err := core.RunStatic(sc, scNet, p.TableRuns, core.LastK)
-	if err != nil {
-		return nil, fmt.Errorf("table1 sample&collide: %w", err)
+// The three measurement groups (S&C feeds two rows) are independent —
+// each builds its own overlay — so they run concurrently, and every
+// group's trials fan out across the pool below them. The second return
+// value is the total metered traffic. The per-row trial index alone
+// fixes each trial's random stream, so the rows are byte-identical at
+// any worker count.
+func TableIRows(p Params) ([]TableIRow, uint64, error) {
+	type group struct {
+		label  string
+		stream uint64
+		runs   int
+		make   func(seed uint64, run int) core.Estimator
 	}
-	rows = append(rows, makeRow("Sample&Collide (l=200)", "oneShot",
-		scRes.QualityPct(false), scRes.MeanOverhead()))
-
-	// HopsSampling last10runs.
-	hopsNet := hetNet(p.N100k, p, 0x2100)
-	hops := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+0x2101))
-	hopsRes, err := core.RunStatic(hops, hopsNet, p.TableRuns, core.LastK)
-	if err != nil {
-		return nil, fmt.Errorf("table1 hops-sampling: %w", err)
+	groups := []group{
+		{"sample&collide", 0x2000, p.TableRuns, func(seed uint64, run int) core.Estimator {
+			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(seed+0x2001, uint64(run)))
+		}},
+		{"hops-sampling", 0x2100, p.TableRuns, func(seed uint64, run int) core.Estimator {
+			return hopssampling.New(hopssampling.Default(), xrand.NewStream(seed+0x2101, uint64(run)))
+		}},
+		// Aggregation, one epoch of EpochLen rounds per estimation. Epochs
+		// are expensive (N·rounds·2), so a few runs suffice: the estimator
+		// is near-deterministic at convergence.
+		{"aggregation", 0x2200, min(3, p.TableRuns), func(seed uint64, run int) core.Estimator {
+			return aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+				xrand.NewStream(seed+0x2201, uint64(run)))
+		}},
 	}
-	rows = append(rows, makeRow("HopsSampling", "last10runs",
-		smoothedTail(hopsRes), float64(core.LastK)*hopsRes.MeanOverhead()))
-
-	// Sample&Collide last10runs (same measurements, smoothed heuristic).
-	rows = append(rows, makeRow("Sample&Collide (l=200)", "last10runs",
-		smoothedTail(scRes), float64(core.LastK)*scRes.MeanOverhead()))
-
-	// Aggregation, one epoch of EpochLen rounds per estimation. Epochs
-	// are expensive (N·rounds·2), so a few runs suffice: the estimator is
-	// near-deterministic at convergence.
-	aggNet := hetNet(p.N100k, p, 0x2200)
-	agg := aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen},
-		xrand.New(p.Seed+0x2201))
-	aggRuns := min(3, p.TableRuns)
-	aggRes, err := core.RunStatic(agg, aggNet, aggRuns, core.LastK)
-	if err != nil {
-		return nil, fmt.Errorf("table1 aggregation: %w", err)
+	type groupOut struct {
+		res  *core.StaticResult
+		msgs uint64
 	}
-	rows = append(rows, makeRow("Aggregation", fmt.Sprintf("%d rounds", p.EpochLen),
-		aggRes.QualityPct(false), aggRes.MeanOverhead()))
-	return rows, nil
+	outs, err := parallel.Map(p.Workers, len(groups), func(i int) (groupOut, error) {
+		g := groups[i]
+		net := hetNet(p.N100k, p, g.stream)
+		res, err := core.RunStaticParallel(func(run int) core.Estimator {
+			return g.make(p.Seed, run)
+		}, net, g.runs, core.LastK, p.Workers)
+		if err != nil {
+			return groupOut{}, fmt.Errorf("table1 %s: %w", g.label, err)
+		}
+		return groupOut{res: res, msgs: net.Counter().Total()}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	scRes, hopsRes, aggRes := outs[0].res, outs[1].res, outs[2].res
+	msgs := outs[0].msgs + outs[1].msgs + outs[2].msgs
+	rows := []TableIRow{
+		makeRow("Sample&Collide (l=200)", "oneShot",
+			scRes.QualityPct(false), scRes.MeanOverhead()),
+		makeRow("HopsSampling", "last10runs",
+			smoothedTail(hopsRes), float64(core.LastK)*hopsRes.MeanOverhead()),
+		// Sample&Collide last10runs (same measurements, smoothed heuristic).
+		makeRow("Sample&Collide (l=200)", "last10runs",
+			smoothedTail(scRes), float64(core.LastK)*scRes.MeanOverhead()),
+		makeRow("Aggregation", fmt.Sprintf("%d rounds", p.EpochLen),
+			aggRes.QualityPct(false), aggRes.MeanOverhead()),
+	}
+	return rows, msgs, nil
 }
 
 // smoothedTail returns the lastK-smoothed qualities once the window is
@@ -101,10 +121,14 @@ func makeRow(alg, heur string, qualities []float64, overhead float64) TableIRow 
 
 // TableI renders the measured rows in the paper's layout.
 func TableI(p Params) (*plot.Table, []TableIRow, error) {
-	rows, err := TableIRows(p)
+	rows, _, err := TableIRows(p)
 	if err != nil {
 		return nil, nil, err
 	}
+	return renderTableI(p, rows), rows, nil
+}
+
+func renderTableI(p Params, rows []TableIRow) *plot.Table {
 	t := &plot.Table{
 		Title: fmt.Sprintf("Table I: overhead and accuracy for an estimation on a %d node overlay", p.N100k),
 		Headers: []string{
@@ -120,23 +144,24 @@ func TableI(p Params) (*plot.Table, []TableIRow, error) {
 			plot.FormatCount(r.OverheadPerEstimate),
 		)
 	}
-	return t, rows, nil
+	return t
 }
 
 func init() {
 	register("table1", func(p Params) (*Figure, error) {
-		tbl, rows, err := TableI(p)
+		rows, msgs, err := TableIRows(p)
 		if err != nil {
 			return nil, err
 		}
+		tbl := renderTableI(p, rows)
 		fig := &Figure{
-			ID:    "table1",
-			Title: tbl.Title,
+			ID:       "table1",
+			Title:    tbl.Title,
+			Messages: msgs,
 		}
 		for _, line := range splitLines(tbl.Text()) {
 			fig.AddNote("%s", line)
 		}
-		_ = rows
 		return fig, nil
 	})
 }

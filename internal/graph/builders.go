@@ -86,21 +86,34 @@ func BarabasiAlbert(n, m int, rng *xrand.Rand) *Graph {
 			endpoints = append(endpoints, u, v)
 		}
 	}
-	chosen := make(map[NodeID]bool, m)
+	// chosen is a slice, not a set: edges must be added in draw order.
+	// Ranging over a map here would let Go's randomized iteration order
+	// decide adjacency order — and with it every later neighbor draw —
+	// making the "same seed, same graph" guarantee silently false.
+	chosen := make([]NodeID, 0, m)
 	for u := NodeID(m + 1); int(u) < n; u++ {
-		clear(chosen)
+		chosen = chosen[:0]
 		for len(chosen) < m {
 			v := endpoints[rng.Intn(len(endpoints))]
-			if v != u && !chosen[v] {
-				chosen[v] = true
+			if v != u && !contains(chosen, v) {
+				chosen = append(chosen, v)
 			}
 		}
-		for v := range chosen {
+		for _, v := range chosen {
 			g.AddEdge(u, v)
 			endpoints = append(endpoints, u, v)
 		}
 	}
 	return g
+}
+
+func contains(s []NodeID, v NodeID) bool {
+	for _, w := range s {
+		if w == v {
+			return true
+		}
+	}
+	return false
 }
 
 // ErdosRenyi builds G(n, p) using geometric skipping, so the cost is

@@ -320,3 +320,25 @@ func TestEstimatorsOnSmallWorld(t *testing.T) {
 		t.Fatalf("average degree %.2f, want ≈8", hist.Mean())
 	}
 }
+
+func TestBarabasiAlbertRunToRunDeterminism(t *testing.T) {
+	// Regression: edge insertion once followed map iteration order, so two
+	// identically seeded builds produced different adjacency orders (and
+	// therefore different neighbor draws downstream).
+	a := BarabasiAlbert(2000, 3, xrand.New(21))
+	b := BarabasiAlbert(2000, 3, xrand.New(21))
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for id := NodeID(0); int(id) < a.NumIDs(); id++ {
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("degree differs at %d", id)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency order differs at node %d slot %d", id, i)
+			}
+		}
+	}
+}

@@ -203,6 +203,25 @@ func (g *Graph) ForEachAlive(fn func(id NodeID)) {
 // changes across mutations.
 func (g *Graph) AliveAt(i int) NodeID { return g.aliveIDs[i] }
 
+// Clone returns a deep copy of g sharing no mutable state with it. The
+// parallel experiment engine clones one overlay per concurrent estimation
+// instance so identical churn replays stay independent across goroutines.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		adj:      make([][]NodeID, len(g.adj)),
+		alive:    append([]bool(nil), g.alive...),
+		aliveIDs: append([]NodeID(nil), g.aliveIDs...),
+		alivePos: append([]int32(nil), g.alivePos...),
+		edges:    g.edges,
+	}
+	for i, a := range g.adj {
+		if len(a) > 0 {
+			ng.adj[i] = append([]NodeID(nil), a...)
+		}
+	}
+	return ng
+}
+
 func (g *Graph) mustAlive(id NodeID) {
 	if !g.Alive(id) {
 		panic(fmt.Sprintf("graph: node %d is not alive", id))

@@ -50,6 +50,22 @@ func New(g *graph.Graph, maxDeg int, counter *metrics.Counter) *Network {
 // mutation reserved to Join/Leave and test setup).
 func (n *Network) Graph() *graph.Graph { return n.g }
 
+// Clone returns a deep copy of the overlay with a fresh message counter.
+// The parallel experiment engine gives each concurrent estimation
+// instance its own clone so identical churn replays neither share graph
+// mutations nor race on the meter.
+func (n *Network) Clone() *Network {
+	return &Network{g: n.g.Clone(), counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+}
+
+// View returns a Network sharing n's topology but metering on a fresh
+// counter. Parallel static runs read one shared graph concurrently;
+// per-run views keep the overhead accounting of each run exact and
+// race-free. The view must not be mutated while shared.
+func (n *Network) View() *Network {
+	return &Network{g: n.g, counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+}
+
 // Counter returns the message meter.
 func (n *Network) Counter() *metrics.Counter { return n.counter }
 

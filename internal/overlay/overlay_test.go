@@ -206,3 +206,40 @@ func TestChurnPreservesInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCloneAndView(t *testing.T) {
+	net, rng := newTestNet(400, 3)
+	net.Send(metrics.KindWalk)
+
+	clone := net.Clone()
+	if clone.Size() != net.Size() || clone.MaxDegree() != net.MaxDegree() {
+		t.Fatalf("clone shape differs")
+	}
+	if clone.Counter() == net.Counter() || clone.Counter().Total() != 0 {
+		t.Fatal("clone must start with a fresh counter")
+	}
+	if clone.Graph() == net.Graph() {
+		t.Fatal("clone shares the graph")
+	}
+	before := net.Size()
+	clone.LeaveRandom(rng)
+	if net.Size() != before {
+		t.Fatal("clone mutation leaked into original")
+	}
+
+	view := net.View()
+	if view.Graph() != net.Graph() {
+		t.Fatal("view must share the graph")
+	}
+	if view.Counter() == net.Counter() || view.Counter().Total() != 0 {
+		t.Fatal("view must meter on a fresh counter")
+	}
+	view.Send(metrics.KindWalk)
+	view.SendN(metrics.KindReply, 3)
+	if net.Counter().Total() != 1 {
+		t.Fatalf("view traffic leaked into original: %v", net.Counter())
+	}
+	if view.Counter().Total() != 4 {
+		t.Fatalf("view counter = %v", view.Counter())
+	}
+}

@@ -1,0 +1,99 @@
+// Package parallel is the deterministic worker pool behind the experiment
+// harness. The paper's evaluation is embarrassingly parallel — repeated
+// estimation runs, concurrent estimation instances, independent table rows
+// — but naive fan-out destroys the simulator's core guarantee that equal
+// seeds give byte-identical output.
+//
+// The pool restores that guarantee by construction:
+//
+//   - Work is addressed by index. fn(i) must depend only on i (each run
+//     derives its own xrand stream from the experiment seed and i), never
+//     on scheduling order or shared mutable state.
+//   - Results are collected into slot i of the output slice, so the
+//     assembled result is independent of which worker ran which index.
+//   - When several indices fail, the error of the lowest index is
+//     returned — the same error a sequential loop would have hit first —
+//     so even failures are identical at every worker count.
+//
+// Under those rules Map(1, n, fn) and Map(16, n, fn) are byte-identical,
+// which the experiment determinism tests assert end to end.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a workers setting to a concrete pool size: 0 (the default
+// everywhere in the harness) means runtime.NumCPU(), negative values and
+// 1 mean sequential execution.
+func Resolve(workers int) int {
+	if workers == 0 {
+		return runtime.NumCPU()
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// Map runs fn(i) for every i in [0, n) on a pool of workers goroutines
+// and returns the results ordered by index. fn must be safe for
+// concurrent invocation across distinct indices and must derive any
+// randomness from i alone; the output is then independent of the worker
+// count. If any indices fail, the error of the lowest failing index is
+// returned (all indices still run, so the choice of error is itself
+// deterministic).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, firstError(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstError(errs)
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers
+// goroutines, with the same contract as Map but no collected results.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

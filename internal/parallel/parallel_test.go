@@ -1,0 +1,123 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Fatalf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != 1 {
+		t.Fatalf("Resolve(-3) = %d, want 1", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Fatalf("Resolve(7) = %d, want 7", got)
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, 50, func(i int) (int, error) {
+			// Finish in scrambled wall-clock order to prove slot
+			// assignment, not completion order, decides placement.
+			time.Sleep(time.Duration((i*37)%5) * time.Millisecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map over 0 items: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom at 3" {
+			t.Fatalf("workers=%d: err = %v, want boom at 3", workers, err)
+		}
+	}
+}
+
+func TestMapRunsEveryIndexDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(8, 100, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("early failure")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 indices; errors must not skip work", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	hits := make([]atomic.Int64, 30)
+	if err := ForEach(6, 30, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+	if err := ForEach(6, 30, func(i int) error {
+		if i >= 10 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	}); err == nil || err.Error() != "fail 10" {
+		t.Fatalf("err = %v, want fail 10", err)
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(workers, 200, func(i int) (int, error) {
+			return i*31 + 7, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, 64} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverges at %d", w, i)
+			}
+		}
+	}
+}

@@ -50,6 +50,22 @@ func (r *Rand) Seed(seed uint64) {
 	r.Uint64()
 }
 
+// NewStream returns a generator for the (seed, stream) pair. Unlike
+// additive seeding (New(seed + i), where streams of nearby experiments
+// can collide), both words are mixed through SplitMix64 independently, so
+// every pair yields an unrelated state. Parallel experiment runs derive
+// one stream per run index this way: the draws of run i are fixed by
+// (seed, i) alone, independent of worker count and scheduling.
+func NewStream(seed, stream uint64) *Rand {
+	r := &Rand{
+		hi: splitmix64(seed ^ splitmix64(stream+0x632be59bd9b4e019)),
+		lo: splitmix64(seed + 0x9e3779b97f4a7c15 + splitmix64(stream)),
+	}
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
 // splitmix64 is the finalizer of the SplitMix64 generator; it is used only
 // for seeding and splitting.
 func splitmix64(x uint64) uint64 {

@@ -261,3 +261,32 @@ func TestUint64BitBalance(t *testing.T) {
 		}
 	}
 }
+
+func TestNewStreamDeterministicAndDistinct(t *testing.T) {
+	a := NewStream(1, 7)
+	b := NewStream(1, 7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+	}
+	// Distinct streams, distinct seeds, and the additive-collision case
+	// NewStream exists to prevent: (seed+1, s) vs (seed, s+1).
+	pairs := [][2]*Rand{
+		{NewStream(1, 0), NewStream(1, 1)},
+		{NewStream(1, 0), NewStream(2, 0)},
+		{NewStream(2, 7), NewStream(1, 8)},
+		{NewStream(1, 0), New(1)},
+	}
+	for pi, p := range pairs {
+		same := 0
+		for i := 0; i < 64; i++ {
+			if p[0].Uint64() == p[1].Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("pair %d: %d/64 identical draws; streams correlated", pi, same)
+		}
+	}
+}

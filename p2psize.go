@@ -40,6 +40,7 @@ import (
 	"p2psize/internal/hopssampling"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/polling"
 	"p2psize/internal/randomtour"
 	"p2psize/internal/samplecollide"
@@ -485,4 +486,58 @@ func RunRepeated(e Estimator, n *Network, runs int) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// RunParallel performs runs independent estimations across a worker pool
+// and returns the raw values ordered by run index. newEstimator(i) builds
+// the estimator for run i and must derive its Seed from i (e.g. baseSeed
+// + i), so that run i's value is fixed by the index alone — the output is
+// then byte-identical at every worker count, including workers = 1.
+//
+// The overlay must not be mutated during the call. Each run meters on a
+// private counter; the per-run counts are merged into the network's meter
+// in run order before returning, so Messages() sees the same totals a
+// sequential execution would.
+func RunParallel(newEstimator func(run int) Estimator, n *Network, runs, workers int) ([]float64, error) {
+	if runs < 1 {
+		return nil, errors.New("p2psize: RunParallel needs runs >= 1")
+	}
+	type runOut struct {
+		val     float64
+		counter metrics.Counter
+	}
+	outs, err := parallel.Map(workers, runs, func(i int) (runOut, error) {
+		view := &Network{net: n.net.View()}
+		v, err := newEstimator(i).Estimate(view)
+		if err != nil {
+			return runOut{}, fmt.Errorf("p2psize: run %d: %w", i, err)
+		}
+		return runOut{val: v, counter: view.net.Counter().Snapshot()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, runs)
+	for i, o := range outs {
+		vals[i] = o.val
+		n.net.Counter().Merge(&o.counter)
+	}
+	return vals, nil
+}
+
+// SmoothLastK applies the paper's lastKruns heuristic to a raw estimate
+// sequence after the fact: out[i] is the mean of vals[max(0,i-k+1) .. i].
+// It is the post-hoc equivalent of wrapping an estimator in Smoothed,
+// usable with RunParallel where runs complete out of order.
+func SmoothLastK(vals []float64, k int) []float64 {
+	if k < 1 {
+		k = 10
+	}
+	w := stats.NewWindow(k)
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		w.Add(v)
+		out[i] = w.Mean()
+	}
+	return out
 }
