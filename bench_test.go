@@ -35,6 +35,7 @@ func benchParams() experiments.Params {
 	p.Fig18Runs = 20
 	p.TableRuns = 10
 	p.AggHorizon = 1000
+	p.TraceHorizon = 300 // 30 monitor samples per trace experiment
 	return p
 }
 
@@ -307,6 +308,18 @@ func BenchmarkExtDelay(b *testing.B) { benchFigure(b, "ext-delay") }
 // BenchmarkExtCyclon measures churn recovery on a CYCLON-maintained
 // overlay.
 func BenchmarkExtCyclon(b *testing.B) { benchFigure(b, "ext-cyclon") }
+
+// BenchmarkTraceWeibull monitors all four estimators under heavy-tailed
+// (Weibull k=0.5) session churn.
+func BenchmarkTraceWeibull(b *testing.B) { benchFigure(b, "trace-weibull") }
+
+// BenchmarkTraceDiurnal monitors under diurnally modulated arrivals
+// with lognormal sessions, EWMA-smoothed.
+func BenchmarkTraceDiurnal(b *testing.B) { benchFigure(b, "trace-diurnal") }
+
+// BenchmarkTraceFlashcrowd monitors through a +50% flash crowd and a
+// -25% mass failure with restart-on-shock smoothing.
+func BenchmarkTraceFlashcrowd(b *testing.B) { benchFigure(b, "trace-flashcrowd") }
 
 // BenchmarkAblationChurnRepair quantifies the paper's no-re-linking rule:
 // shrink an overlay by 50% with and without neighbor repair and report

@@ -1,0 +1,170 @@
+// Command benchdiff compares two suite reports (BENCH_results.json /
+// REPORT.json, schema p2psize-suite-report/v1) and fails when wall times
+// regressed: per experiment beyond -threshold, or in total. CI runs it
+// in the bench-smoke job against the artifact of the previous successful
+// run, gating pull requests on the perf trajectory.
+//
+// Wall times on shared runners are noisy, so experiments faster than
+// -min-ms in the baseline are reported but never gate, and the threshold
+// is generous by default (20%). Checksum changes are reported as
+// informational — they flag output changes, not regressions (any change
+// to an experiment's data legitimately moves its checksums).
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.20] [-min-ms 50] old.json new.json
+//
+// Exit status: 0 no regression, 1 regression, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"p2psize/internal/experiments"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.20, "fail when an experiment's wall time grows by more than this fraction")
+		minMS     = flag.Float64("min-ms", 50, "ignore experiments faster than this many ms in the baseline (noise floor)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	report, regressions := diff(oldRep, newRep, *threshold, *minMS)
+	fmt.Print(report)
+	if len(regressions) > 0 {
+		fmt.Printf("\nFAIL: %d wall-time regression(s) beyond %.0f%%:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Printf("  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no wall-time regressions")
+}
+
+func load(path string) (*experiments.SuiteReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r experiments.SuiteReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != experiments.ReportSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, experiments.ReportSchema)
+	}
+	return &r, nil
+}
+
+// diff renders a per-experiment comparison and returns the list of
+// gating regressions. Experiments are matched by id (both reports
+// iterated in id order); additions and removals are informational.
+func diff(oldRep, newRep *experiments.SuiteReport, threshold, minMS float64) (string, []string) {
+	oldBy := byID(oldRep)
+	newBy := byID(newRep)
+	var b strings.Builder
+	var regressions []string
+	fmt.Fprintf(&b, "%-18s %10s %10s %8s   %s\n", "experiment", "old ms", "new ms", "delta", "note")
+	for _, e := range newRep.Sorted() {
+		o, ok := oldBy[e.ID]
+		if !ok {
+			fmt.Fprintf(&b, "%-18s %10s %10.0f %8s   new experiment\n", e.ID, "-", e.WallMS, "-")
+			continue
+		}
+		var notes []string
+		if o.Error != "" || e.Error != "" {
+			notes = append(notes, "errored")
+		}
+		if checksumsDiffer(o, e) {
+			notes = append(notes, "output changed")
+		}
+		delta := 0.0
+		if o.WallMS > 0 {
+			delta = e.WallMS/o.WallMS - 1
+		}
+		gates := o.WallMS >= minMS
+		if gates && delta > threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0fms -> %.0fms (%+.0f%%)", e.ID, o.WallMS, e.WallMS, delta*100))
+			notes = append(notes, "REGRESSION")
+		} else if !gates {
+			notes = append(notes, "below noise floor")
+		}
+		fmt.Fprintf(&b, "%-18s %10.0f %10.0f %+7.0f%%   %s\n",
+			e.ID, o.WallMS, e.WallMS, delta*100, strings.Join(notes, ", "))
+	}
+	for _, o := range oldRep.Sorted() {
+		if _, ok := newBy[o.ID]; !ok {
+			fmt.Fprintf(&b, "%-18s %10.0f %10s %8s   removed\n", o.ID, o.WallMS, "-", "-")
+		}
+	}
+	// The total gates only over experiments present in both reports —
+	// otherwise every PR that adds or removes a benchmark would trip it.
+	// Summation follows id order: float addition is order-dependent, and
+	// map iteration would make a threshold-straddling delta flip between
+	// runs.
+	var oldTotal, newTotal float64
+	for _, o := range oldRep.Sorted() {
+		if e, ok := newBy[o.ID]; ok {
+			oldTotal += o.WallMS
+			newTotal += e.WallMS
+		}
+	}
+	totalDelta := 0.0
+	if oldTotal > 0 {
+		totalDelta = newTotal/oldTotal - 1
+	}
+	fmt.Fprintf(&b, "%-18s %10.0f %10.0f %+7.0f%%   experiments in both reports\n",
+		"TOTAL", oldTotal, newTotal, totalDelta*100)
+	if oldTotal >= minMS && totalDelta > threshold {
+		regressions = append(regressions,
+			fmt.Sprintf("TOTAL: %.0fms -> %.0fms (%+.0f%%)",
+				oldTotal, newTotal, totalDelta*100))
+	}
+	return b.String(), regressions
+}
+
+func byID(r *experiments.SuiteReport) map[string]experiments.ExperimentReport {
+	out := make(map[string]experiments.ExperimentReport, len(r.Experiments))
+	for _, e := range r.Experiments {
+		out[e.ID] = e
+	}
+	return out
+}
+
+func checksumsDiffer(a, b experiments.ExperimentReport) bool {
+	if len(a.Series) != len(b.Series) {
+		return true
+	}
+	for i := range a.Series {
+		if a.Series[i] != b.Series[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"p2psize/internal/experiments"
+)
+
+func report(total float64, entries ...experiments.ExperimentReport) *experiments.SuiteReport {
+	return &experiments.SuiteReport{
+		Schema:      experiments.ReportSchema,
+		TotalWallMS: total,
+		Experiments: entries,
+	}
+}
+
+func entry(id string, wallMS float64, checksum string) experiments.ExperimentReport {
+	return experiments.ExperimentReport{
+		ID:     id,
+		WallMS: wallMS,
+		Series: []experiments.SeriesSummary{{Name: "s", Points: 3, Checksum: checksum}},
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldRep := report(1000, entry("fig01", 400, "aa"), entry("fig05", 600, "bb"))
+	newRep := report(1100, entry("fig01", 560, "aa"), entry("fig05", 540, "bb"))
+	out, regressions := diff(oldRep, newRep, 0.20, 50)
+	if len(regressions) != 1 || !strings.HasPrefix(regressions[0], "fig01:") {
+		t.Fatalf("regressions = %v, want one on fig01", regressions)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("report lacks REGRESSION marker:\n%s", out)
+	}
+}
+
+func TestDiffNoiseFloor(t *testing.T) {
+	// A 10x slowdown on a 5ms experiment must not gate.
+	oldRep := report(100, entry("fig01", 5, "aa"))
+	newRep := report(110, entry("fig01", 50, "aa"))
+	_, regressions := diff(oldRep, newRep, 0.20, 50)
+	if len(regressions) != 0 {
+		t.Fatalf("noise-floor experiment gated: %v", regressions)
+	}
+}
+
+func TestDiffTotalRegression(t *testing.T) {
+	// Each experiment sits below the per-experiment noise floor, so none
+	// gates alone — but together they regressed 50%, which the total
+	// (summed over matched experiments) must catch.
+	oldRep := report(120, entry("fig01", 40, "aa"), entry("fig02", 40, "bb"), entry("fig03", 40, "cc"))
+	newRep := report(180, entry("fig01", 60, "aa"), entry("fig02", 60, "bb"), entry("fig03", 60, "cc"))
+	_, regressions := diff(oldRep, newRep, 0.20, 50)
+	if len(regressions) != 1 || !strings.HasPrefix(regressions[0], "TOTAL:") {
+		t.Fatalf("regressions = %v, want one on TOTAL", regressions)
+	}
+}
+
+func TestDiffTotalIgnoresAddedExperiments(t *testing.T) {
+	// A PR adding a heavy new experiment must not trip the TOTAL gate:
+	// the total compares only experiments present in both reports.
+	oldRep := report(500, entry("fig01", 500, "aa"))
+	newRep := report(2000, entry("fig01", 510, "aa"), entry("trace-weibull", 1490, "bb"))
+	_, regressions := diff(oldRep, newRep, 0.20, 50)
+	if len(regressions) != 0 {
+		t.Fatalf("added experiment tripped the gate: %v", regressions)
+	}
+}
+
+func TestDiffAddedRemovedAndChecksums(t *testing.T) {
+	oldRep := report(1000, entry("fig01", 500, "aa"), entry("gone", 100, "cc"))
+	newRep := report(1000, entry("fig01", 500, "CHANGED"), entry("fresh", 100, "dd"))
+	out, regressions := diff(oldRep, newRep, 0.20, 50)
+	if len(regressions) != 0 {
+		t.Fatalf("unexpected regressions: %v", regressions)
+	}
+	for _, want := range []string{"new experiment", "removed", "output changed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 //	figures -only fig05,table1     # a subset
 //	figures -workers 8             # cap the worker pool
 //	figures -full -out paperout    # paper-scale reproduction
+//	figures -tracefile churn.csv   # monitor an empirical churn trace too
 package main
 
 import (
@@ -27,21 +28,24 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"p2psize/internal/experiments"
 	"p2psize/internal/plot"
+	"p2psize/internal/trace"
 )
 
 func main() {
 	var (
-		outDir  = flag.String("out", "out", "output directory")
-		scale   = flag.Int("scale", 10, "divide the paper's node counts by this factor")
-		full    = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		workers = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
-		ascii   = flag.Bool("ascii", true, "print ASCII previews")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
+		outDir    = flag.String("out", "out", "output directory")
+		scale     = flag.Int("scale", 10, "divide the paper's node counts by this factor")
+		full      = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
+		ascii     = flag.Bool("ascii", true, "print ASCII previews")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		traceFile = flag.String("tracefile", "", "also run the continuous monitor on this empirical churn trace (.json or .csv), reported as experiment trace-file")
 	)
 	flag.Parse()
 
@@ -68,10 +72,39 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)
 	}
+	// Load and validate the empirical trace up front: a typo in the path
+	// or a horizon too short for the monitor cadence must fail fast, not
+	// after hours of suite experiments.
+	var loadedTrace *trace.Trace
+	if *traceFile != "" {
+		var err error
+		if loadedTrace, err = trace.ReadFile(*traceFile); err != nil {
+			fatal(err)
+		}
+		if loadedTrace.Horizon < params.TraceCadence {
+			fatal(fmt.Errorf("trace %s: horizon %g is shorter than the monitor cadence %g; no sample would be taken",
+				*traceFile, loadedTrace.Horizon, params.TraceCadence))
+		}
+	}
 
 	report, figs, runErr := experiments.RunSuite(ids, params)
 	if len(ids) == 0 {
 		ids = experiments.IDs()
+	}
+	if loadedTrace != nil {
+		// The empirical-trace monitor runs after the suite (its input is
+		// external, so it is not in the registry) and is appended to the
+		// report like any other experiment.
+		start := time.Now()
+		fig, err := experiments.RunTraceFigure("trace-file", loadedTrace, params)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		ids = append(ids, fig.ID)
+		figs[fig.ID] = fig
+		report.Experiments = append(report.Experiments, experiments.Summarize(fig, wall))
+		report.TotalWallMS += float64(wall.Microseconds()) / 1000
 	}
 
 	var notes strings.Builder

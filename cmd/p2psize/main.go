@@ -7,6 +7,16 @@
 //	p2psize -nodes 100000 -algo hops -runs 10 -smooth
 //	p2psize -nodes 100000 -algo agg -rounds 50
 //	p2psize -nodes 100000 -algo all -runs 5
+//
+// With -trace the command switches from repeated static estimations to
+// continuous monitoring: the overlay evolves under a churn trace
+// (generated, or loaded from a .json/.csv file) and every selected
+// algorithm is sampled each -cadence time units, reporting tracking
+// error, staleness and message budget.
+//
+//	p2psize -nodes 100000 -algo all -trace weibull -horizon 1000
+//	p2psize -nodes 50000 -algo sc -trace flashcrowd -policy window -restart-jump 0.5
+//	p2psize -algo all -trace measured.csv -cadence 5
 package main
 
 import (
@@ -36,6 +46,15 @@ func main() {
 		smooth   = flag.Bool("smooth", false, "apply the last10runs heuristic")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		workers  = flag.Int("workers", 0, "worker pool size for the estimation runs (0 = all CPUs, 1 = sequential); output is identical at any setting")
+
+		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd, or a trace file (.json/.csv)")
+		horizon   = flag.Float64("horizon", 1000, "trace duration in simulated time units (generated traces)")
+		cadence   = flag.Float64("cadence", 10, "simulated time between monitor samples")
+		policy    = flag.String("policy", "none", "monitor smoothing: none | window | ewma")
+		window    = flag.Int("window", 10, "window smoothing length")
+		alpha     = flag.Float64("alpha", 0.3, "EWMA smoothing weight")
+		restart   = flag.Float64("restart-jump", 0, "restart smoothing when a raw estimate jumps by this relative fraction (0 = off)")
+		saveTrace = flag.String("save-trace", "", "write the trace to this path (.json or .csv) before monitoring")
 	)
 	flag.Parse()
 
@@ -48,6 +67,18 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	if *traceSpec != "" {
+		if err := runMonitor(monitorOpts{
+			traceSpec: *traceSpec, topo: topo, maxDeg: *maxDeg, nodes: *nodes,
+			horizon: *horizon, cadence: *cadence, policy: *policy,
+			window: *window, alpha: *alpha, restart: *restart,
+			saveTrace: *saveTrace, seed: *seed, workers: *workers,
+		}, specs); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	fmt.Printf("building %s overlay with %d nodes (seed %d)...\n", topo, *nodes, *seed)

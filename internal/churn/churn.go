@@ -22,6 +22,10 @@ type Event struct {
 	Step int
 	// RemoveFraction of the *current* live peers to remove, in [0, 1].
 	RemoveFraction float64
+	// RemoveCount peers to remove (applied after RemoveFraction). An
+	// absolute count is what trace down-conversion produces: a replayed
+	// trace knows exactly how many peers left in a step.
+	RemoveCount int
 	// AddCount peers to add.
 	AddCount int
 }
@@ -132,6 +136,9 @@ func (r *Runner) Step(net *overlay.Network, step int) int {
 		r.nextEvent++
 		if ev.RemoveFraction > 0 {
 			r.removeN(net, int(ev.RemoveFraction*float64(net.Size())))
+		}
+		if ev.RemoveCount > 0 {
+			r.removeN(net, ev.RemoveCount)
 		}
 		for i := 0; i < ev.AddCount; i++ {
 			net.JoinRandomDegree(r.rng)

@@ -174,6 +174,90 @@ func TestRepairFlagUsesRepairingLeave(t *testing.T) {
 	}
 }
 
+func TestFractionalRatesNonDividing(t *testing.T) {
+	// Rates that don't divide the step count must carry their remainder
+	// in the accumulator, not round per step: 0.3 × 7 = 2.1 → exactly 2
+	// joins, with 0.1 left pending.
+	net := newNet(100, 21)
+	s := Scenario{TotalSteps: 7, ArrivalsPerStep: 0.3}
+	r := NewRunner(s, xrand.New(22))
+	for step := 0; step < 7; step++ {
+		r.Step(net, step)
+	}
+	if net.Size() != 102 {
+		t.Fatalf("size = %d, want 102 (floor of 0.3 × 7 arrivals)", net.Size())
+	}
+	// Both accumulators at once, neither dividing the horizon: 11 steps
+	// of +0.7/−0.4 → 7 joins, 4 drops.
+	net2 := newNet(100, 23)
+	s2 := Scenario{TotalSteps: 11, ArrivalsPerStep: 0.7, DeparturesPerStep: 0.4}
+	r2 := NewRunner(s2, xrand.New(24))
+	for step := 0; step < 11; step++ {
+		r2.Step(net2, step)
+	}
+	if r2.TotalJoins() != 7 || r2.TotalDrops() != 4 {
+		t.Fatalf("joins/drops = %d/%d, want 7/4", r2.TotalJoins(), r2.TotalDrops())
+	}
+	if net2.Size() != 103 {
+		t.Fatalf("size = %d, want 103", net2.Size())
+	}
+}
+
+func TestShockAtStepZero(t *testing.T) {
+	// An event scheduled at step 0 fires before that step's continuous
+	// churn, on the untouched initial overlay.
+	net := newNet(100, 25)
+	s := Scenario{TotalSteps: 10, Events: []Event{{Step: 0, RemoveFraction: 0.25}}}
+	r := NewRunner(s, xrand.New(26))
+	if d := r.Step(net, 0); d != -25 {
+		t.Fatalf("step-0 shock delta = %d, want -25", d)
+	}
+	if net.Size() != 75 {
+		t.Fatalf("size after step-0 shock = %d, want 75", net.Size())
+	}
+}
+
+func TestRemoveToEmptyFloorsAtOne(t *testing.T) {
+	// A RemoveFraction of 1.0 (and any follow-up churn) must leave at
+	// least one peer: the overlay floor is part of the runner contract.
+	net := newNet(50, 27)
+	s := Scenario{
+		TotalSteps:        5,
+		DeparturesPerStep: 10,
+		Events:            []Event{{Step: 0, RemoveFraction: 1.0}},
+	}
+	r := NewRunner(s, xrand.New(28))
+	for step := 0; step < 5; step++ {
+		r.Step(net, step)
+	}
+	if net.Size() != 1 {
+		t.Fatalf("size = %d, want exactly 1 after remove-to-empty", net.Size())
+	}
+	if r.TotalDrops() != 49 {
+		t.Fatalf("drops = %d, want 49", r.TotalDrops())
+	}
+}
+
+func TestRemoveCountEvent(t *testing.T) {
+	// RemoveCount removes an absolute number of peers (after any
+	// RemoveFraction) — the form trace down-conversion produces.
+	net := newNet(100, 29)
+	s := Scenario{TotalSteps: 2, Events: []Event{
+		{Step: 0, RemoveCount: 10, AddCount: 3},
+		{Step: 1, RemoveFraction: 0.5, RemoveCount: 6},
+	}}
+	r := NewRunner(s, xrand.New(30))
+	r.Step(net, 0)
+	if net.Size() != 93 {
+		t.Fatalf("size after step 0 = %d, want 93", net.Size())
+	}
+	r.Step(net, 1)
+	// 0.5 × 93 → 46 removed, then 6 more.
+	if net.Size() != 41 {
+		t.Fatalf("size after step 1 = %d, want 41", net.Size())
+	}
+}
+
 func TestStepReturnsNetChange(t *testing.T) {
 	net := newNet(100, 19)
 	s := Scenario{TotalSteps: 1, Events: []Event{{Step: 0, AddCount: 3}}}

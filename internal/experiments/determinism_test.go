@@ -19,6 +19,7 @@ func determinismParams(workers int) Params {
 	p.Fig18Runs = 8
 	p.HopsHorizon = 100
 	p.TableRuns = 8
+	p.TraceHorizon = 100 // 10 monitor samples at the default cadence
 	p.Workers = workers
 	return p
 }
@@ -69,9 +70,10 @@ func figuresEqual(a, b *Figure) error {
 // fig03 Hops, fig05 Aggregation), every dynamic shape (fig09 S&C churn,
 // fig12 Hops churn, fig15 epoch-restarted Aggregation), and Table I.
 func TestWorkerCountInvariance(t *testing.T) {
-	ids := []string{"fig01", "fig03", "fig05", "fig09", "fig12", "fig15", "table1"}
+	ids := []string{"fig01", "fig03", "fig05", "fig09", "fig12", "fig15", "table1",
+		"trace-weibull", "trace-diurnal", "trace-flashcrowd"}
 	if testing.Short() {
-		ids = []string{"fig01", "fig12", "table1"}
+		ids = []string{"fig01", "fig12", "table1", "trace-flashcrowd"}
 	}
 	for _, id := range ids {
 		t.Run(id, func(t *testing.T) {

@@ -52,6 +52,13 @@ type Params struct {
 	EpochLen int
 	// TableRuns is the number of estimations averaged per Table I row.
 	TableRuns int
+	// TraceHorizon is the duration, in simulated time units, of the
+	// trace-driven monitoring experiments (trace-*).
+	TraceHorizon float64
+	// TraceCadence is the simulated time between monitor samples in the
+	// trace-driven experiments; TraceHorizon/TraceCadence estimations
+	// are made per estimator.
+	TraceCadence float64
 	// Workers caps the worker pool that fans independent estimation runs
 	// (and whole experiments, via RunSuite) across cores: 0 means
 	// runtime.NumCPU(), 1 forces sequential execution. Output is
@@ -76,6 +83,8 @@ func Defaults() Params {
 		AggHorizon:      10000,
 		EpochLen:        50,
 		TableRuns:       20,
+		TraceHorizon:    1000,
+		TraceCadence:    10,
 	}
 }
 

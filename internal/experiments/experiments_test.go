@@ -41,6 +41,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
 		"fig15", "fig16", "fig17", "fig18", "table1",
+		"trace-diurnal", "trace-flashcrowd", "trace-weibull",
 	}
 	got := IDs()
 	if len(got) != len(want) {

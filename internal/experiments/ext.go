@@ -107,36 +107,53 @@ func extClasses(p Params) (*Figure, error) {
 	runs := min(10, p.TableRuns)
 	type candidate struct {
 		name string
-		est  core.Estimator
+		make func(run int) core.Estimator
 	}
 	baseNet := hetNet(n, p, 0x3100)
 	ring := idspace.NewRing(baseNet, xrand.New(p.Seed+0x3101))
 	candidates := []candidate{
-		{"sample&collide(l=200)", samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+0x3102))},
-		{"hops-sampling", hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+0x3103))},
-		{"aggregation(50)", aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.New(p.Seed+0x3104))},
-		{"polling(p=0.01)", polling.New(polling.Default(), xrand.New(p.Seed+0x3105))},
-		{"id-density(k=200)", idspace.New(ring, 200, xrand.New(p.Seed+0x3106))},
+		{"sample&collide(l=200)", func(run int) core.Estimator {
+			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x3102, uint64(run)))
+		}},
+		{"hops-sampling", func(run int) core.Estimator {
+			return hopssampling.New(hopssampling.Default(), xrand.NewStream(p.Seed+0x3103, uint64(run)))
+		}},
+		{"aggregation(50)", func(run int) core.Estimator {
+			return aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.NewStream(p.Seed+0x3104, uint64(run)))
+		}},
+		{"polling(p=0.01)", func(run int) core.Estimator {
+			return polling.New(polling.Default(), xrand.NewStream(p.Seed+0x3105, uint64(run)))
+		}},
+		{"id-density(k=200)", func(run int) core.Estimator {
+			return idspace.New(ring, 200, xrand.NewStream(p.Seed+0x3106, uint64(run)))
+		}},
 	}
-	// Candidates share the topology read-only; each runs on its own
-	// metering view so the five can proceed concurrently. Each candidate's
-	// runs stay sequential (a candidate owns one rng) — the candidate
-	// index alone fixes its stream, keeping output worker-count-invariant.
+	// Candidates share the topology (and the id ring) read-only, each on
+	// its own metering view; within a candidate the runs fan out through
+	// RunStaticParallel on per-run streams, so both nesting levels are
+	// parallel and the output depends only on (candidate, run) indices —
+	// worker-count-invariant at every setting.
 	type candOut struct {
 		series  *metrics.Series
 		note    string
 		counter metrics.Counter
 	}
-	outs, err := parallel.Map(p.Workers, len(candidates), func(ci int) (candOut, error) {
+	// Split the worker budget across the two nesting levels like
+	// RunSuite does, instead of letting both fan out with the full
+	// budget (which would multiply goroutine count by the candidate
+	// width). The output is worker-count-invariant either way.
+	outer := min(parallel.Resolve(p.Workers), len(candidates))
+	inner := max(1, parallel.Resolve(p.Workers)/outer)
+	outs, err := parallel.Map(outer, len(candidates), func(ci int) (candOut, error) {
 		c := candidates[ci]
 		view := baseNet.View()
+		res, err := core.RunStaticParallel(c.make, view, runs, core.LastK, inner)
+		if err != nil {
+			return candOut{}, fmt.Errorf("ext-classes %s: %w", c.name, err)
+		}
 		s := &metrics.Series{Name: c.name}
 		var absErr float64
-		for i := 0; i < runs; i++ {
-			est, err := c.est.Estimate(view)
-			if err != nil {
-				return candOut{}, fmt.Errorf("ext-classes %s: %w", c.name, err)
-			}
+		for i, est := range res.Estimates {
 			q := 100 * est / float64(n)
 			s.Append(float64(i+1), q)
 			absErr += math.Abs(q - 100)

@@ -93,11 +93,44 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 	return r
 }
 
+// costHint ranks experiments by expected wall time so the suite can
+// schedule longest jobs first. The values are coarse relative weights
+// measured from bench runs — exactness does not matter, only that the
+// dominating experiments (the 10k-round dynamic Aggregation figures,
+// then the trace monitors and the 1M-node workloads) start before the
+// cheap ones, so they are not left to run alone at the tail of the
+// suite on an otherwise idle machine.
+var costHint = map[string]int{
+	"fig15": 100, "fig16": 100, "fig17": 100, // AggHorizon rounds × N100k sweeps
+	"trace-weibull": 60, "trace-diurnal": 60, "trace-flashcrowd": 60,
+	"fig06": 40,              // AggStaticRounds × N1M
+	"fig02": 30, "fig04": 30, // 1M-node estimation runs
+	"ext-cyclon": 25, "ext-walks": 20, "ext-delay": 20,
+	"table1": 15,
+}
+
+// scheduleOrder returns the indices of ids in execution order: highest
+// cost hint first, ties broken by submission order. Report ordering is
+// unaffected — results land back in their submission slots.
+func scheduleOrder(ids []string) []int {
+	order := make([]int, len(ids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return costHint[ids[order[a]]] > costHint[ids[order[b]]]
+	})
+	return order
+}
+
 // RunSuite executes the given experiments (all registered ones if ids is
 // empty) concurrently on the worker pool and returns the report plus the
-// produced figures by id. Individual experiment failures are recorded in
-// the report and returned as one error (lowest id first) after every
-// experiment has run; figures that succeeded are still returned.
+// produced figures by id. Experiments are scheduled longest-job-first
+// (per costHint) to cut many-core makespan, but the report keeps
+// submission order — sorted by id when ids was empty. Individual
+// experiment failures are recorded in the report and returned as one
+// error (lowest submission index first) after every experiment has run;
+// figures that succeeded are still returned.
 //
 // Every deterministic field of the report — checksums, message counts,
 // series shapes — is byte-identical at any p.Workers setting; only the
@@ -124,16 +157,21 @@ func RunSuite(ids []string, p Params) (*SuiteReport, map[string]*Figure, error) 
 	inner := p
 	inner.Workers = max(1, parallel.Resolve(p.Workers)/outer)
 	figs := make([]*Figure, len(ids))
+	entries := make([]ExperimentReport, len(ids))
+	order := scheduleOrder(ids)
 	start := time.Now()
 	var firstErr error
-	entries, _ := parallel.Map(outer, len(ids), func(i int) (ExperimentReport, error) {
+	_ = parallel.ForEach(outer, len(ids), func(slot int) error {
+		i := order[slot] // longest-job-first execution, submission-order results
 		expStart := time.Now()
 		fig, err := Run(ids[i], inner)
 		if err != nil {
-			return ExperimentReport{ID: ids[i], Error: err.Error()}, nil
+			entries[i] = ExperimentReport{ID: ids[i], Error: err.Error()}
+			return nil
 		}
 		figs[i] = fig
-		return Summarize(fig, time.Since(expStart)), nil
+		entries[i] = Summarize(fig, time.Since(expStart))
+		return nil
 	})
 	report.TotalWallMS = float64(time.Since(start).Microseconds()) / 1000
 	report.Experiments = entries

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestScheduleOrderLongestFirst checks the suite schedules the
+// dominating experiments first while ties keep submission order.
+func TestScheduleOrderLongestFirst(t *testing.T) {
+	ids := []string{"fig01", "fig15", "fig03", "trace-weibull", "fig16"}
+	order := scheduleOrder(ids)
+	want := []string{"fig15", "fig16", "trace-weibull", "fig01", "fig03"}
+	for i, idx := range order {
+		if ids[idx] != want[i] {
+			got := make([]string, len(order))
+			for j, o := range order {
+				got[j] = ids[o]
+			}
+			t.Fatalf("schedule order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunSuiteReportKeepsSubmissionOrder checks LJF execution does not
+// leak into the report: entries stay in submission (id) order.
+func TestRunSuiteReportKeepsSubmissionOrder(t *testing.T) {
+	ids := []string{"fig01", "fig15", "fig05"}
+	report, figs, err := RunSuite(ids, determinismParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Experiments) != len(ids) {
+		t.Fatalf("entry count = %d", len(report.Experiments))
+	}
+	for i, id := range ids {
+		if report.Experiments[i].ID != id {
+			t.Fatalf("entry %d is %q, want %q (execution order leaked into the report)",
+				i, report.Experiments[i].ID, id)
+		}
+		if figs[id] == nil {
+			t.Fatalf("figure %q missing", id)
+		}
+	}
+}

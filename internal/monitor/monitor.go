@@ -1,0 +1,375 @@
+// Package monitor implements continuous size monitoring: the paper's
+// stated use case is *tracking* the size of a live, churning network,
+// but its evaluation only probes stylized scenarios. A Monitor runs any
+// set of estimators on a fixed cadence against an overlay evolving under
+// a churn trace, applies a smoothing policy to each raw estimate stream
+// (sliding window, EWMA, or either with restart-on-shock), and reports
+// the true-vs-estimated time series plus tracking metrics: MAE, MAPE,
+// staleness (how old the data behind the reported value is) and message
+// budget per simulated time unit.
+//
+// Instances fan out on the deterministic worker pool: each estimator
+// replays the identical trace on its own overlay clone (the same
+// contract as core.RunDynamicParallel), so results are byte-identical at
+// every worker count.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"p2psize/internal/core"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
+	"p2psize/internal/trace"
+	"p2psize/internal/xrand"
+)
+
+// Smoothing selects how raw estimates are folded into the reported
+// (smoothed) value.
+type Smoothing int
+
+const (
+	// None reports each raw estimate as-is (the paper's oneShot).
+	None Smoothing = iota
+	// Window reports the mean of the last Policy.Window raw estimates
+	// (the paper's lastKruns, k = 10 by default).
+	Window
+	// EWMA reports an exponentially weighted moving average with weight
+	// Policy.Alpha on the newest estimate.
+	EWMA
+)
+
+// String returns the smoothing name.
+func (s Smoothing) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Window:
+		return "window"
+	case EWMA:
+		return "ewma"
+	default:
+		return fmt.Sprintf("smoothing(%d)", int(s))
+	}
+}
+
+// Policy is a complete smoothing policy.
+type Policy struct {
+	// Smoothing selects the base policy.
+	Smoothing Smoothing
+	// Window is the sliding-window length (Window smoothing only;
+	// default core.LastK = 10).
+	Window int
+	// Alpha is the EWMA weight in (0, 1] (EWMA only; default 0.3).
+	Alpha float64
+	// RestartJump > 0 enables restart-on-shock: when a raw estimate
+	// deviates from the current smoothed value by more than this
+	// relative fraction, the smoothing state is discarded and restarted
+	// from the raw value. Shocks (mass failures, flash crowds) then
+	// re-converge in one sample instead of one window.
+	RestartJump float64
+}
+
+func (p Policy) normalized() Policy {
+	if p.Window < 1 {
+		p.Window = core.LastK
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 {
+		p.Alpha = 0.3
+	}
+	return p
+}
+
+// String renders the policy for names and notes.
+func (p Policy) String() string {
+	p = p.normalized()
+	var s string
+	switch p.Smoothing {
+	case Window:
+		s = fmt.Sprintf("window(%d)", p.Window)
+	case EWMA:
+		s = fmt.Sprintf("ewma(%.2g)", p.Alpha)
+	default:
+		s = "none"
+	}
+	if p.RestartJump > 0 {
+		s += fmt.Sprintf("+restart(%.2g)", p.RestartJump)
+	}
+	return s
+}
+
+// Config drives a monitoring run.
+type Config struct {
+	// Cadence is the simulated time between consecutive estimations
+	// (> 0). Samples happen at t = Cadence, 2·Cadence, ... up to the
+	// trace horizon.
+	Cadence float64
+	// Policy is the smoothing policy applied to every instance.
+	Policy Policy
+}
+
+// Result holds the tracking series and metrics of one monitoring run.
+type Result struct {
+	// Names of the estimator instances.
+	Names []string
+	// Policy that produced the smoothed series.
+	Policy Policy
+	// Horizon of the replayed trace.
+	Horizon float64
+	// Times of the samples.
+	Times []float64
+	// TrueSizes[i] is the real overlay size at Times[i].
+	TrueSizes []float64
+	// Raw[k][i] is instance k's raw estimate at Times[i] (NaN on
+	// failure).
+	Raw [][]float64
+	// Smoothed[k][i] is the value the monitor would have served at
+	// Times[i]: the policy-smoothed estimate, held over from the last
+	// success when the estimator fails.
+	Smoothed [][]float64
+	// Staleness[k][i] is the mean age, in simulated time, of the raw
+	// estimates behind Smoothed[k][i] (0 = fresh; grows across failures
+	// and with wider windows).
+	Staleness [][]float64
+	// Failures[k] counts instance k's failed estimations.
+	Failures []int
+	// Restarts[k] counts instance k's restart-on-shock resets.
+	Restarts []int
+	// Messages[k] is instance k's total metered protocol traffic.
+	Messages []uint64
+}
+
+// smoother folds raw estimates into the served value and tracks the
+// time-weighted age of the data behind it.
+type smoother struct {
+	policy Policy
+	// Window state.
+	vals  []float64
+	times []float64
+	// EWMA / None state.
+	value float64
+	age   float64
+	last  float64 // time of the last successful update
+	valid bool
+	// restarts counts shock resets.
+	restarts int
+}
+
+func newSmoother(p Policy) *smoother {
+	return &smoother{policy: p.normalized()}
+}
+
+func (s *smoother) reset() {
+	s.vals = s.vals[:0]
+	s.times = s.times[:0]
+	s.valid = false
+}
+
+// current returns the served value at time t (NaN before any success)
+// and the mean age of the data behind it.
+func (s *smoother) current(t float64) (value, staleness float64) {
+	switch s.policy.Smoothing {
+	case Window:
+		if len(s.vals) == 0 {
+			return math.NaN(), t
+		}
+		sum, ageSum := 0.0, 0.0
+		for i, v := range s.vals {
+			sum += v
+			ageSum += t - s.times[i]
+		}
+		n := float64(len(s.vals))
+		return sum / n, ageSum / n
+	default: // None, EWMA
+		if !s.valid {
+			return math.NaN(), t
+		}
+		return s.value, s.age + (t - s.last)
+	}
+}
+
+// add folds one successful raw estimate observed at time t.
+func (s *smoother) add(est, t float64) {
+	// Restart-on-shock only makes sense where there is smoothing state
+	// to discard; under None every estimate is served as-is, and a
+	// "restart" would just count raw noise.
+	if j := s.policy.RestartJump; j > 0 && s.policy.Smoothing != None {
+		if cur, _ := s.current(t); !math.IsNaN(cur) && cur != 0 &&
+			math.Abs(est-cur) > j*math.Abs(cur) {
+			s.reset()
+			s.restarts++
+		}
+	}
+	switch s.policy.Smoothing {
+	case Window:
+		if len(s.vals) == s.policy.Window {
+			s.vals = s.vals[1:]
+			s.times = s.times[1:]
+		}
+		s.vals = append(s.vals, est)
+		s.times = append(s.times, t)
+	case EWMA:
+		if !s.valid {
+			s.value, s.age = est, 0
+		} else {
+			a := s.policy.Alpha
+			s.value = a*est + (1-a)*s.value
+			s.age = (1 - a) * (s.age + (t - s.last))
+		}
+		s.last, s.valid = t, true
+	default: // None
+		s.value, s.age, s.last, s.valid = est, 0, t, true
+	}
+}
+
+// Run replays the trace on a per-instance clone of net for every
+// estimator and samples each one every cfg.Cadence time units. newRNG
+// must return a fresh, identically seeded generator on every call (it
+// drives the replay's join wiring), so all clones see the identical
+// membership trajectory; the overlay itself is left unmutated and
+// per-instance message counts are merged into its counter in instance
+// order. Output is byte-identical at every worker count.
+func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg Config, newRNG func() *xrand.Rand, workers int) (*Result, error) {
+	if len(instances) == 0 {
+		return nil, errors.New("monitor: Run needs at least one estimator")
+	}
+	if cfg.Cadence <= 0 {
+		return nil, errors.New("monitor: Config.Cadence must be positive")
+	}
+	// The epsilon absorbs float division error (0.3/0.1 < 3) so an
+	// exact-multiple horizon never loses its final sample.
+	samples := int(tr.Horizon/cfg.Cadence + 1e-9)
+	if samples < 1 {
+		return nil, errors.New("monitor: cadence longer than the trace horizon")
+	}
+	type instOut struct {
+		trueSizes []float64
+		raw       []float64
+		smoothed  []float64
+		staleness []float64
+		failures  int
+		restarts  int
+		counter   *metrics.Counter
+	}
+	outs, err := parallel.Map(workers, len(instances), func(k int) (instOut, error) {
+		clone := net.Clone()
+		player, err := trace.NewPlayer(tr, clone)
+		if err != nil {
+			return instOut{}, err
+		}
+		rng := newRNG()
+		sm := newSmoother(cfg.Policy)
+		o := instOut{counter: clone.Counter()}
+		for i := 1; i <= samples; i++ {
+			t := cfg.Cadence * float64(i)
+			player.AdvanceTo(clone, t, rng)
+			o.trueSizes = append(o.trueSizes, float64(clone.Size()))
+			est, err := instances[k].Estimate(clone)
+			if err != nil {
+				o.failures++
+				o.raw = append(o.raw, math.NaN())
+			} else {
+				sm.add(est, t)
+				o.raw = append(o.raw, est)
+			}
+			served, stale := sm.current(t)
+			o.smoothed = append(o.smoothed, served)
+			o.staleness = append(o.staleness, stale)
+		}
+		o.restarts = sm.restarts
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Names:     make([]string, len(instances)),
+		Policy:    cfg.Policy.normalized(),
+		Horizon:   tr.Horizon,
+		Raw:       make([][]float64, len(instances)),
+		Smoothed:  make([][]float64, len(instances)),
+		Staleness: make([][]float64, len(instances)),
+		Failures:  make([]int, len(instances)),
+		Restarts:  make([]int, len(instances)),
+		Messages:  make([]uint64, len(instances)),
+	}
+	for i := 1; i <= samples; i++ {
+		res.Times = append(res.Times, cfg.Cadence*float64(i))
+	}
+	res.TrueSizes = outs[0].trueSizes
+	for k, o := range outs {
+		// All clones must have replayed the identical trajectory; a
+		// divergence means newRNG violated its contract.
+		for i := range o.trueSizes {
+			if o.trueSizes[i] != outs[0].trueSizes[i] {
+				return nil, fmt.Errorf("monitor: trace replay diverged at instance %d, t=%g (%g != %g); newRNG must return identically seeded generators",
+					k, res.Times[i], o.trueSizes[i], outs[0].trueSizes[i])
+			}
+		}
+		res.Names[k] = instances[k].Name()
+		res.Raw[k] = o.raw
+		res.Smoothed[k] = o.smoothed
+		res.Staleness[k] = o.staleness
+		res.Failures[k] = o.failures
+		res.Restarts[k] = o.restarts
+		res.Messages[k] = o.counter.Total()
+		net.Counter().Merge(o.counter)
+	}
+	return res, nil
+}
+
+// MAE returns instance k's mean absolute tracking error |served − true|
+// over the samples where it had a value to serve.
+func (r *Result) MAE(k int) float64 {
+	sum, n := 0.0, 0
+	for i, est := range r.Smoothed[k] {
+		if math.IsNaN(est) {
+			continue
+		}
+		sum += math.Abs(est - r.TrueSizes[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MAPE returns instance k's mean absolute percentage tracking error,
+// mean |served/true − 1|·100, over the samples where it had a value.
+func (r *Result) MAPE(k int) float64 {
+	sum, n := 0.0, 0
+	for i, est := range r.Smoothed[k] {
+		if math.IsNaN(est) || r.TrueSizes[i] == 0 {
+			continue
+		}
+		sum += math.Abs(est/r.TrueSizes[i]-1) * 100
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MeanStaleness returns instance k's mean data age across all samples.
+func (r *Result) MeanStaleness(k int) float64 {
+	if len(r.Staleness[k]) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, a := range r.Staleness[k] {
+		sum += a
+	}
+	return sum / float64(len(r.Staleness[k]))
+}
+
+// MsgsPerTime returns instance k's protocol traffic per simulated time
+// unit — the budget a deployment would pay to keep the estimate fresh
+// at this cadence.
+func (r *Result) MsgsPerTime(k int) float64 {
+	return float64(r.Messages[k]) / r.Horizon
+}

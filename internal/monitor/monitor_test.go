@@ -1,0 +1,225 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"p2psize/internal/core"
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/trace"
+	"p2psize/internal/xrand"
+)
+
+func testTrace(t *testing.T, initial int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Config{
+		Name:    "monitor-test",
+		Initial: initial,
+		Horizon: 100,
+		Session: trace.SessionDist{Kind: trace.Weibull, Mean: 100, Shape: 0.7},
+	}, xrand.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testNet(n int, seed uint64) *overlay.Network {
+	return overlay.New(graph.Heterogeneous(n, 10, xrand.New(seed)), 10, nil)
+}
+
+// truthEstimator reports the exact size (zero cost, never fails) —
+// useful for asserting the plumbing without estimator noise.
+type truthEstimator struct{}
+
+func (truthEstimator) Name() string { return "truth" }
+func (truthEstimator) Estimate(net *overlay.Network) (float64, error) {
+	return float64(net.Size()), nil
+}
+
+// flakyEstimator fails on every other call.
+type flakyEstimator struct{ calls int }
+
+func (e *flakyEstimator) Name() string { return "flaky" }
+func (e *flakyEstimator) Estimate(net *overlay.Network) (float64, error) {
+	e.calls++
+	if e.calls%2 == 0 {
+		return 0, errors.New("flaky")
+	}
+	return float64(net.Size()), nil
+}
+
+// meteredTruth is truth plus one control message per estimate.
+type meteredTruth struct{}
+
+func (meteredTruth) Name() string { return "metered-truth" }
+func (meteredTruth) Estimate(net *overlay.Network) (float64, error) {
+	net.Send(metrics.KindControl)
+	return float64(net.Size()), nil
+}
+
+func run(t *testing.T, instances []core.Estimator, cfg Config, workers int) *Result {
+	t.Helper()
+	const n = 400
+	net := testNet(n, 22)
+	res, err := Run(instances, net, testTrace(t, n), cfg, func() *xrand.Rand { return xrand.New(23) }, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTruthTracksExactly(t *testing.T) {
+	res := run(t, []core.Estimator{truthEstimator{}}, Config{Cadence: 10}, 1)
+	if len(res.Times) != 10 {
+		t.Fatalf("expected 10 samples, got %d", len(res.Times))
+	}
+	if mae := res.MAE(0); mae != 0 {
+		t.Fatalf("truth estimator MAE = %g, want 0", mae)
+	}
+	if mape := res.MAPE(0); mape != 0 {
+		t.Fatalf("truth estimator MAPE = %g, want 0", mape)
+	}
+	if st := res.MeanStaleness(0); st != 0 {
+		t.Fatalf("unsmoothed truth staleness = %g, want 0", st)
+	}
+}
+
+func TestWindowSmoothingLagsAndAges(t *testing.T) {
+	res := run(t, []core.Estimator{truthEstimator{}},
+		Config{Cadence: 10, Policy: Policy{Smoothing: Window, Window: 4}}, 1)
+	// A full 4-entry window at cadence 10 holds data aged 0,10,20,30 →
+	// mean 15; early samples have smaller windows.
+	last := res.Staleness[0][len(res.Staleness[0])-1]
+	if last != 15 {
+		t.Fatalf("full-window staleness = %g, want 15", last)
+	}
+	if res.Staleness[0][0] != 0 {
+		t.Fatalf("first-sample staleness = %g, want 0", res.Staleness[0][0])
+	}
+}
+
+func TestEWMAStaleness(t *testing.T) {
+	res := run(t, []core.Estimator{truthEstimator{}},
+		Config{Cadence: 10, Policy: Policy{Smoothing: EWMA, Alpha: 0.5}}, 1)
+	// Steady-state EWMA age with alpha 0.5 and dt 10 converges to
+	// dt·(1-a)/a = 10; check it is between fresh and window-like.
+	last := res.Staleness[0][len(res.Staleness[0])-1]
+	if last <= 0 || last > 11 {
+		t.Fatalf("EWMA staleness = %g, want in (0, 11]", last)
+	}
+}
+
+func TestFailuresHoldLastValueAndAge(t *testing.T) {
+	res := run(t, []core.Estimator{&flakyEstimator{}}, Config{Cadence: 10}, 1)
+	if res.Failures[0] != 5 {
+		t.Fatalf("failures = %d, want 5", res.Failures[0])
+	}
+	// Sample 2 fails: the served value must be sample 1's, aged one
+	// cadence.
+	if math.IsNaN(res.Smoothed[0][1]) {
+		t.Fatal("failed sample did not hold the previous value")
+	}
+	if res.Smoothed[0][1] != res.Smoothed[0][0] {
+		t.Fatalf("held value %g != previous %g", res.Smoothed[0][1], res.Smoothed[0][0])
+	}
+	if res.Staleness[0][1] != 10 {
+		t.Fatalf("staleness across a failure = %g, want 10", res.Staleness[0][1])
+	}
+	if st := res.MeanStaleness(0); st != 5 {
+		t.Fatalf("mean staleness = %g, want 5", st)
+	}
+}
+
+func TestRestartOnShock(t *testing.T) {
+	const n = 400
+	net := testNet(n, 24)
+	tr := testTrace(t, n)
+	if err := tr.AddMassFailure(50, 0.6, xrand.New(25)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Cadence: 10, Policy: Policy{Smoothing: Window, Window: 8, RestartJump: 0.3}}
+	res, err := Run([]core.Estimator{truthEstimator{}}, net, tr, cfg,
+		func() *xrand.Rand { return xrand.New(26) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts[0] == 0 {
+		t.Fatal("a -60% shock did not trigger a restart")
+	}
+	// After the restart the window starts over from the post-shock
+	// truth, so the first sample seeing the shock tracks exactly.
+	i := 4 // t=50: the mass failure at t=50 is applied before sampling
+	if res.Smoothed[0][i] != res.TrueSizes[i] {
+		t.Fatalf("post-shock sample serves %g, truth is %g (no restart?)",
+			res.Smoothed[0][i], res.TrueSizes[i])
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	mk := func() []core.Estimator {
+		out := make([]core.Estimator, 3)
+		for k := range out {
+			out[k] = samplecollide.New(samplecollide.Config{T: 10, L: 50},
+				xrand.New(uint64(30+k)))
+		}
+		return out
+	}
+	cfg := Config{Cadence: 10, Policy: Policy{Smoothing: Window, Window: 5}}
+	seq := run(t, mk(), cfg, 1)
+	par := run(t, mk(), cfg, 8)
+	if len(seq.Times) != len(par.Times) {
+		t.Fatalf("sample counts differ: %d vs %d", len(seq.Times), len(par.Times))
+	}
+	for k := range seq.Names {
+		if seq.Messages[k] != par.Messages[k] {
+			t.Fatalf("instance %d messages differ: %d vs %d", k, seq.Messages[k], par.Messages[k])
+		}
+		for i := range seq.Times {
+			if math.Float64bits(seq.Smoothed[k][i]) != math.Float64bits(par.Smoothed[k][i]) ||
+				math.Float64bits(seq.Raw[k][i]) != math.Float64bits(par.Raw[k][i]) {
+				t.Fatalf("instance %d diverges at sample %d", k, i)
+			}
+		}
+	}
+}
+
+func TestMessagesMeteredPerInstance(t *testing.T) {
+	const n = 400
+	net := testNet(n, 27)
+	res, err := Run([]core.Estimator{meteredTruth{}, meteredTruth{}}, net, testTrace(t, n),
+		Config{Cadence: 10}, func() *xrand.Rand { return xrand.New(28) }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Messages {
+		if res.Messages[k] != 10 {
+			t.Fatalf("instance %d metered %d messages, want 10", k, res.Messages[k])
+		}
+		if res.MsgsPerTime(k) != 0.1 {
+			t.Fatalf("instance %d msgs/time = %g, want 0.1", k, res.MsgsPerTime(k))
+		}
+	}
+	if net.Counter().Total() != 20 {
+		t.Fatalf("merged counter = %d, want 20", net.Counter().Total())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	net := testNet(100, 29)
+	tr := testTrace(t, 100)
+	rng := func() *xrand.Rand { return xrand.New(1) }
+	if _, err := Run(nil, net, tr, Config{Cadence: 1}, rng, 1); err == nil {
+		t.Fatal("no estimators accepted")
+	}
+	if _, err := Run([]core.Estimator{truthEstimator{}}, net, tr, Config{}, rng, 1); err == nil {
+		t.Fatal("zero cadence accepted")
+	}
+	if _, err := Run([]core.Estimator{truthEstimator{}}, net, tr, Config{Cadence: 1e9}, rng, 1); err == nil {
+		t.Fatal("cadence past the horizon accepted")
+	}
+}

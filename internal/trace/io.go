@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// JSONSchema identifies the JSON trace layout; bump it when the shape
+// changes so tooling can detect incompatible files.
+const JSONSchema = "p2psize-trace/v1"
+
+// jsonEvent is the on-disk event form: op as a string for readability
+// and hand-editing of empirical traces.
+type jsonEvent struct {
+	T       float64 `json:"t"`
+	Session int     `json:"session"`
+	Op      string  `json:"op"`
+}
+
+// jsonTrace is the on-disk trace form.
+type jsonTrace struct {
+	Schema  string      `json:"schema"`
+	Name    string      `json:"name,omitempty"`
+	Initial int         `json:"initial"`
+	Horizon float64     `json:"horizon"`
+	Events  []jsonEvent `json:"events"`
+}
+
+// WriteJSON serializes the trace as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	out := jsonTrace{
+		Schema:  JSONSchema,
+		Name:    t.Name,
+		Initial: t.Initial,
+		Horizon: t.Horizon,
+		Events:  make([]jsonEvent, len(t.Events)),
+	}
+	for i, ev := range t.Events {
+		out.Events[i] = jsonEvent{T: ev.T, Session: ev.Session, Op: ev.Op.String()}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a trace written by WriteJSON (or authored by hand from
+// an empirical measurement), normalizes and validates it.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var in jsonTrace
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decode JSON: %w", err)
+	}
+	if in.Schema != JSONSchema {
+		return nil, fmt.Errorf("trace: unknown schema %q (want %q)", in.Schema, JSONSchema)
+	}
+	t := &Trace{
+		Name:    in.Name,
+		Initial: in.Initial,
+		Horizon: in.Horizon,
+		Events:  make([]Event, len(in.Events)),
+	}
+	for i, ev := range in.Events {
+		op, err := parseOp(ev.Op)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		t.Events[i] = Event{T: ev.T, Session: ev.Session, Op: op}
+	}
+	t.Normalize()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteCSV serializes the trace as CSV: metadata in "#key value" header
+// comments, then a "t,session,op" column header and one event per line.
+// The format round-trips through ReadCSV and is the interchange form for
+// empirical traces exported from other tools.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if t.Name != "" {
+		fmt.Fprintf(bw, "#name %s\n", t.Name)
+	}
+	fmt.Fprintf(bw, "#initial %d\n", t.Initial)
+	fmt.Fprintf(bw, "#horizon %s\n", strconv.FormatFloat(t.Horizon, 'g', -1, 64))
+	fmt.Fprintln(bw, "t,session,op")
+	for _, ev := range t.Events {
+		fmt.Fprintf(bw, "%s,%d,%s\n",
+			strconv.FormatFloat(ev.T, 'g', -1, 64), ev.Session, ev.Op)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV, normalizes and validates
+// it. Unknown "#" metadata lines are ignored so exporters can annotate
+// files freely.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == "t,session,op" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			key, val, _ := strings.Cut(strings.TrimPrefix(text, "#"), " ")
+			var err error
+			switch key {
+			case "name":
+				t.Name = val
+			case "initial":
+				t.Initial, err = strconv.Atoi(val)
+			case "horizon":
+				t.Horizon, err = strconv.ParseFloat(val, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad #%s value %q: %w", line, key, val, err)
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want 3 fields, got %d", line, len(fields))
+		}
+		ts, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q: %w", line, fields[0], err)
+		}
+		session, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad session %q: %w", line, fields[1], err)
+		}
+		op, err := parseOp(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Events = append(t.Events, Event{T: ts, Session: session, Op: op})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read CSV: %w", err)
+	}
+	t.Normalize()
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadFile loads a trace from path, dispatching on the file extension:
+// ".csv" (any case) reads the CSV form, everything else the JSON form.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.EqualFold(filepath.Ext(path), ".csv") {
+		return ReadCSV(f)
+	}
+	return ReadJSON(f)
+}
+
+func parseOp(s string) (Op, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "join", "j":
+		return Join, nil
+	case "leave", "l":
+		return Leave, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q (want join or leave)", s)
+	}
+}

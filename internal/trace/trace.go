@@ -1,0 +1,251 @@
+// Package trace models churn as a first-class, timestamped join/leave
+// event stream instead of the per-step rates of package churn. The
+// paper's dynamic scenarios (§IV-D) are stylized ramps and shocks; real
+// deployments exhibit heavy-tailed session lengths and diurnal load
+// (measured for IPFS and earlier systems), which a rate-based scenario
+// cannot express. A Trace captures the full session structure — who
+// arrives when and how long they stay — so the same workload can be
+// generated synthetically (Poisson arrivals × Weibull/lognormal/
+// exponential/Pareto sessions, diurnal modulation, flash crowds, mass
+// failures), loaded from an empirical measurement, replayed onto an
+// overlay, or down-converted to a churn.Scenario.
+//
+// Determinism contract: a Trace is plain data; generation and all
+// compositors draw exclusively from the caller's *xrand.Rand, so equal
+// seeds give byte-identical traces, and replays of one trace onto equal
+// overlays with equally seeded generators give byte-identical overlays.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"p2psize/internal/churn"
+)
+
+// Op is the type of a trace event.
+type Op uint8
+
+const (
+	// Join is a session arrival.
+	Join Op = iota
+	// Leave is a session departure.
+	Leave
+)
+
+// String returns "join" or "leave".
+func (o Op) String() string {
+	switch o {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Event is one timestamped membership change. Session identifies which
+// peer the event concerns: a session joins at most once, leaves at most
+// once, and leaves only after it joined. Sessions 0..Initial-1 are
+// present from time 0 and have no Join event.
+type Event struct {
+	// T is the simulated time of the event, in [0, Horizon].
+	T float64
+	// Session is the session (peer lifetime) the event belongs to.
+	Session int
+	// Op is Join or Leave.
+	Op Op
+}
+
+// Trace is a churn workload over a fixed horizon of simulated time.
+type Trace struct {
+	// Name labels the workload in reports.
+	Name string
+	// Initial is the number of sessions present at time 0.
+	Initial int
+	// Horizon is the duration of the trace in simulated time units.
+	Horizon float64
+	// Events holds the membership changes, sorted by (T, Session, Op).
+	Events []Event
+}
+
+// Normalize sorts the events into the canonical (T, Session, Op) order.
+// Generators and compositors call it before returning; callers that
+// build Events by hand should too.
+func (t *Trace) Normalize() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Op < b.Op
+	})
+}
+
+// Validate checks the structural invariants: positive horizon, events
+// sorted and inside the horizon, every session joining before leaving
+// (initial sessions never join), each at most once.
+func (t *Trace) Validate() error {
+	if t.Initial < 0 {
+		return errors.New("trace: negative Initial")
+	}
+	if t.Horizon <= 0 {
+		return errors.New("trace: Horizon must be positive")
+	}
+	joined := make(map[int]bool)
+	left := make(map[int]bool)
+	var prev Event
+	for i, ev := range t.Events {
+		if ev.T < 0 || ev.T > t.Horizon {
+			return fmt.Errorf("trace: event %d at t=%g outside [0, %g]", i, ev.T, t.Horizon)
+		}
+		if i > 0 && (ev.T < prev.T || (ev.T == prev.T && ev.Session < prev.Session)) {
+			return fmt.Errorf("trace: events not sorted at index %d (call Normalize)", i)
+		}
+		prev = ev
+		if ev.Session < 0 {
+			return fmt.Errorf("trace: event %d has negative session", i)
+		}
+		switch ev.Op {
+		case Join:
+			if ev.Session < t.Initial {
+				return fmt.Errorf("trace: initial session %d joins at t=%g", ev.Session, ev.T)
+			}
+			if joined[ev.Session] {
+				return fmt.Errorf("trace: session %d joins twice", ev.Session)
+			}
+			joined[ev.Session] = true
+		case Leave:
+			if ev.Session >= t.Initial && !joined[ev.Session] {
+				return fmt.Errorf("trace: session %d leaves before joining", ev.Session)
+			}
+			if left[ev.Session] {
+				return fmt.Errorf("trace: session %d leaves twice", ev.Session)
+			}
+			left[ev.Session] = true
+		default:
+			return fmt.Errorf("trace: event %d has unknown op %d", i, ev.Op)
+		}
+	}
+	return nil
+}
+
+// Sessions returns the total number of distinct sessions referenced by
+// the trace (initial population plus arrivals).
+func (t *Trace) Sessions() int {
+	n := t.Initial
+	for _, ev := range t.Events {
+		if ev.Session >= n {
+			n = ev.Session + 1
+		}
+	}
+	return n
+}
+
+// Joins returns the number of Join events.
+func (t *Trace) Joins() int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Op == Join {
+			n++
+		}
+	}
+	return n
+}
+
+// Leaves returns the number of Leave events.
+func (t *Trace) Leaves() int {
+	n := 0
+	for _, ev := range t.Events {
+		if ev.Op == Leave {
+			n++
+		}
+	}
+	return n
+}
+
+// SizeAt returns the population after all events with T <= at have been
+// applied to the initial population.
+func (t *Trace) SizeAt(at float64) int {
+	n := t.Initial
+	for _, ev := range t.Events {
+		if ev.T > at {
+			break
+		}
+		if ev.Op == Join {
+			n++
+		} else {
+			n--
+		}
+	}
+	return n
+}
+
+// aliveAt returns the sorted session ids alive just after time at.
+func (t *Trace) aliveAt(at float64) []int {
+	alive := make(map[int]bool, t.Initial)
+	for s := 0; s < t.Initial; s++ {
+		alive[s] = true
+	}
+	for _, ev := range t.Events {
+		if ev.T > at {
+			break
+		}
+		alive[ev.Session] = ev.Op == Join
+	}
+	out := make([]int, 0, len(alive))
+	for s, ok := range alive {
+		if ok {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ToScenario down-converts the trace to a churn.Scenario over the given
+// number of steps: step s covers the time window (s·dt, (s+1)·dt] with
+// dt = Horizon/steps, and receives one discrete churn.Event carrying the
+// exact join and leave counts of that window. The conversion preserves
+// aggregate volume per step but drops session identity — which peer
+// leaves is re-drawn by the churn runner — so it suits harnesses built
+// on churn.Scenario, while Player preserves the trace exactly.
+func (t *Trace) ToScenario(steps int) (churn.Scenario, error) {
+	if steps < 1 {
+		return churn.Scenario{}, errors.New("trace: ToScenario needs steps >= 1")
+	}
+	if err := t.Validate(); err != nil {
+		return churn.Scenario{}, err
+	}
+	dt := t.Horizon / float64(steps)
+	adds := make([]int, steps)
+	drops := make([]int, steps)
+	for _, ev := range t.Events {
+		s := int(ev.T / dt)
+		if s >= steps {
+			s = steps - 1
+		}
+		if ev.Op == Join {
+			adds[s]++
+		} else {
+			drops[s]++
+		}
+	}
+	sc := churn.Scenario{Name: t.Name + "-scenario", TotalSteps: steps}
+	for s := 0; s < steps; s++ {
+		if adds[s] == 0 && drops[s] == 0 {
+			continue
+		}
+		sc.Events = append(sc.Events, churn.Event{
+			Step:        s,
+			AddCount:    adds[s],
+			RemoveCount: drops[s],
+		})
+	}
+	return sc, nil
+}

@@ -15,6 +15,37 @@ func (r *Rand) Exp(lambda float64) float64 {
 	return -math.Log(r.Float64Open()) / lambda
 }
 
+// Weibull returns a Weibull-distributed value with the given shape k and
+// scale lambda, via inverse-transform sampling. Shapes below 1 give the
+// heavy-tailed session lengths measured in deployed peer-to-peer systems
+// (many very short sessions, a few very long ones). It panics unless both
+// parameters are positive.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("xrand: Weibull with non-positive shape or scale")
+	}
+	return scale * math.Pow(-math.Log(r.Float64Open()), 1/shape)
+}
+
+// LogNormal returns exp(Norm(mu, sigma)): a log-normally distributed
+// value with log-mean mu and log-stddev sigma. It panics if sigma <= 0.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("xrand: LogNormal with sigma <= 0")
+	}
+	return math.Exp(r.Norm(mu, sigma))
+}
+
+// Pareto returns a Pareto-distributed value with minimum xm and tail
+// index alpha (P(X > x) = (xm/x)^alpha for x >= xm), via inverse-
+// transform sampling. It panics unless both parameters are positive.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("xrand: Pareto with non-positive xm or alpha")
+	}
+	return xm / math.Pow(r.Float64Open(), 1/alpha)
+}
+
 // Geometric returns the number of independent Bernoulli(p) failures before
 // the first success, i.e. a value in {0, 1, 2, ...} with
 // P(k) = (1-p)^k * p. It panics unless 0 < p <= 1.

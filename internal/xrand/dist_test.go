@@ -215,6 +215,83 @@ func TestSampleKUniform(t *testing.T) {
 	}
 }
 
+func TestWeibullMean(t *testing.T) {
+	r := New(107)
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 100}, {1, 50}, {2, 10},
+	} {
+		sum := 0.0
+		const draws = 200000
+		for i := 0; i < draws; i++ {
+			v := r.Weibull(c.shape, c.scale)
+			if v < 0 {
+				t.Fatalf("Weibull(%g,%g) returned negative %g", c.shape, c.scale, v)
+			}
+			sum += v
+		}
+		mean := sum / draws
+		want := c.scale * math.Gamma(1+1/c.shape)
+		if math.Abs(mean-want) > 0.05*want {
+			t.Fatalf("Weibull(%g,%g) mean = %g, want ~%g", c.shape, c.scale, mean, want)
+		}
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := New(109)
+	mu, sigma := 2.0, 0.5
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.LogNormal(mu, sigma)
+		if v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %g", v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("LogNormal(%g,%g) mean = %g, want ~%g", mu, sigma, mean, want)
+	}
+}
+
+func TestParetoMeanAndSupport(t *testing.T) {
+	r := New(111)
+	xm, alpha := 10.0, 2.5
+	sum := 0.0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := r.Pareto(xm, alpha)
+		if v < xm {
+			t.Fatalf("Pareto(%g,%g) returned %g below the minimum", xm, alpha, v)
+		}
+		sum += v
+	}
+	mean := sum / draws
+	want := alpha * xm / (alpha - 1)
+	if math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("Pareto(%g,%g) mean = %g, want ~%g", xm, alpha, mean, want)
+	}
+}
+
+func TestHeavyTailPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Weibull":   func() { New(1).Weibull(0, 1) },
+		"LogNormal": func() { New(1).LogNormal(0, 0) },
+		"Pareto":    func() { New(1).Pareto(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with invalid parameters did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	var sink uint64

@@ -1,0 +1,171 @@
+package p2psize
+
+// Public continuous-monitoring surface: run estimators on a cadence
+// against an overlay evolving under a churn Trace and get tracking
+// series plus error/staleness/budget metrics. Thin wrapper over
+// internal/monitor; see that package for the semantics.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"p2psize/internal/core"
+	"p2psize/internal/monitor"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+// SmoothingPolicy selects how a monitor folds raw estimates into the
+// value it serves.
+type SmoothingPolicy int
+
+const (
+	// NoSmoothing serves each raw estimate as-is (the paper's oneShot).
+	NoSmoothing SmoothingPolicy = iota
+	// WindowSmoothing serves the mean of the last Window raw estimates
+	// (the paper's lastKruns).
+	WindowSmoothing
+	// EWMASmoothing serves an exponentially weighted moving average.
+	EWMASmoothing
+)
+
+// MonitorOptions configures RunMonitor.
+type MonitorOptions struct {
+	// Cadence is the simulated time between estimations. Required.
+	Cadence float64
+	// Policy selects the smoothing (default NoSmoothing).
+	Policy SmoothingPolicy
+	// Window is the WindowSmoothing length (default 10).
+	Window int
+	// Alpha is the EWMASmoothing weight in (0, 1] (default 0.3).
+	Alpha float64
+	// RestartJump > 0 restarts the smoothing state when a raw estimate
+	// deviates from the served value by more than this relative
+	// fraction — fast re-convergence after shocks.
+	RestartJump float64
+	// ReplaySeed drives the replay's join wiring (default: the zero
+	// stream). Equal seeds give byte-identical runs.
+	ReplaySeed uint64
+	// Workers caps the pool that fans estimator instances across cores
+	// (0 = all CPUs); output is identical at every setting.
+	Workers int
+}
+
+// MonitorMetrics summarizes one estimator's tracking performance.
+type MonitorMetrics struct {
+	// Name of the estimator instance.
+	Name string
+	// MAE is the mean absolute error |served − true| in peers.
+	MAE float64
+	// MAPE is the mean absolute percentage error |served/true − 1|·100.
+	MAPE float64
+	// Staleness is the mean age, in simulated time, of the data behind
+	// the served values.
+	Staleness float64
+	// MsgsPerTimeUnit is the metered protocol traffic per simulated
+	// time unit.
+	MsgsPerTimeUnit float64
+	// Failures counts estimations that returned an error.
+	Failures int
+	// Restarts counts restart-on-shock resets.
+	Restarts int
+}
+
+// MonitorResult holds the tracking series and metrics of a RunMonitor
+// call.
+type MonitorResult struct {
+	res *monitor.Result
+}
+
+// Times returns the sample times.
+func (r *MonitorResult) Times() []float64 { return r.res.Times }
+
+// TrueSizes returns the real overlay size at each sample.
+func (r *MonitorResult) TrueSizes() []float64 { return r.res.TrueSizes }
+
+// Names returns the estimator names, in instance order.
+func (r *MonitorResult) Names() []string { return r.res.Names }
+
+// Estimates returns instance k's served (smoothed) values per sample;
+// NaN before its first success.
+func (r *MonitorResult) Estimates(k int) []float64 { return r.res.Smoothed[k] }
+
+// RawEstimates returns instance k's raw values per sample; NaN on
+// failed estimations.
+func (r *MonitorResult) RawEstimates(k int) []float64 { return r.res.Raw[k] }
+
+// Tracking returns instance k's summary metrics.
+func (r *MonitorResult) Tracking(k int) MonitorMetrics {
+	return MonitorMetrics{
+		Name:            r.res.Names[k],
+		MAE:             r.res.MAE(k),
+		MAPE:            r.res.MAPE(k),
+		Staleness:       r.res.MeanStaleness(k),
+		MsgsPerTimeUnit: r.res.MsgsPerTime(k),
+		Failures:        r.res.Failures[k],
+		Restarts:        r.res.Restarts[k],
+	}
+}
+
+// String renders a per-estimator tracking table.
+func (r *MonitorResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %8s %10s %12s %9s %9s\n",
+		"estimator", "MAE", "MAPE%", "staleness", "msgs/time", "failures", "restarts")
+	for k := range r.res.Names {
+		m := r.Tracking(k)
+		fmt.Fprintf(&b, "%-28s %10.0f %8.1f %10.1f %12.0f %9d %9d\n",
+			m.Name, m.MAE, m.MAPE, m.Staleness, m.MsgsPerTimeUnit, m.Failures, m.Restarts)
+	}
+	return b.String()
+}
+
+// monitorAdapter lifts a public Estimator onto the internal estimator
+// contract so the monitor can drive it against overlay clones.
+type monitorAdapter struct{ e Estimator }
+
+func (a monitorAdapter) Name() string { return a.e.Name() }
+func (a monitorAdapter) Estimate(o *overlay.Network) (float64, error) {
+	return a.e.Estimate(&Network{net: o})
+}
+
+// RunMonitor replays the trace on a per-estimator clone of net and
+// samples every estimator each opts.Cadence time units under the chosen
+// smoothing policy. The network must hold exactly tr.InitialNodes()
+// peers. Instances fan out across a worker pool; equal seeds give
+// byte-identical results at every worker count. The network itself is
+// left unmutated, with all metered traffic merged into Messages().
+func RunMonitor(net *Network, tr *Trace, estimators []Estimator, opts MonitorOptions) (*MonitorResult, error) {
+	if len(estimators) == 0 {
+		return nil, errors.New("p2psize: RunMonitor needs at least one estimator")
+	}
+	var smoothing monitor.Smoothing
+	switch opts.Policy {
+	case NoSmoothing:
+		smoothing = monitor.None
+	case WindowSmoothing:
+		smoothing = monitor.Window
+	case EWMASmoothing:
+		smoothing = monitor.EWMA
+	default:
+		return nil, fmt.Errorf("p2psize: unknown smoothing policy %d", int(opts.Policy))
+	}
+	instances := make([]core.Estimator, len(estimators))
+	for k, e := range estimators {
+		instances[k] = monitorAdapter{e}
+	}
+	res, err := monitor.Run(instances, net.net, tr.tr, monitor.Config{
+		Cadence: opts.Cadence,
+		Policy: monitor.Policy{
+			Smoothing:   smoothing,
+			Window:      opts.Window,
+			Alpha:       opts.Alpha,
+			RestartJump: opts.RestartJump,
+		},
+	}, func() *xrand.Rand { return xrand.New(opts.ReplaySeed) }, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &MonitorResult{res: res}, nil
+}

@@ -1,0 +1,151 @@
+package p2psize
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestGenerateTraceAndMonitor(t *testing.T) {
+	const n = 500
+	tr, err := GenerateTrace(TraceOptions{
+		Nodes:    n,
+		Horizon:  200,
+		Sessions: WeibullSessions,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.InitialNodes() != n || tr.Horizon() != 200 {
+		t.Fatalf("trace metadata: %d nodes, horizon %g", tr.InitialNodes(), tr.Horizon())
+	}
+	if err := tr.AddFlashCrowd(60, 100, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddMassFailure(140, 0.3, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := NewNetwork(NetworkOptions{Nodes: n, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := []Estimator{
+		NewSampleCollide(SampleCollideOptions{L: 50, Seed: 5}),
+		NewHopsSampling(HopsSamplingOptions{Seed: 6}),
+	}
+	res, err := RunMonitor(net, tr, ests, MonitorOptions{
+		Cadence:     20,
+		Policy:      WindowSmoothing,
+		Window:      5,
+		RestartJump: 0.5,
+		ReplaySeed:  7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times()) != 10 {
+		t.Fatalf("samples = %d, want 10", len(res.Times()))
+	}
+	if got := res.TrueSizes()[2]; got != float64(tr.SizeAt(60)) {
+		t.Fatalf("true size at t=60 is %g, trace says %d", got, tr.SizeAt(60))
+	}
+	for k, name := range res.Names() {
+		if name != ests[k].Name() {
+			t.Fatalf("instance %d name %q != %q", k, name, ests[k].Name())
+		}
+		m := res.Tracking(k)
+		if math.IsNaN(m.MAPE) || m.MAPE > 100 {
+			t.Fatalf("%s MAPE = %g, implausible", name, m.MAPE)
+		}
+		if m.MsgsPerTimeUnit <= 0 {
+			t.Fatalf("%s metered no traffic", name)
+		}
+	}
+	if net.Size() != n {
+		t.Fatalf("RunMonitor mutated the network: size %d", net.Size())
+	}
+	if net.Messages() == 0 {
+		t.Fatal("per-instance traffic not merged into the network meter")
+	}
+	if res.String() == "" {
+		t.Fatal("empty tracking table")
+	}
+}
+
+func TestMonitorWorkerInvariance(t *testing.T) {
+	run := func(workers int) *MonitorResult {
+		tr, err := GenerateTrace(TraceOptions{Nodes: 300, Horizon: 100, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := NewNetwork(NetworkOptions{Nodes: 300, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests := []Estimator{
+			NewSampleCollide(SampleCollideOptions{L: 30, Seed: 10}),
+			NewSampleCollide(SampleCollideOptions{L: 30, Seed: 11}),
+			NewSampleCollide(SampleCollideOptions{L: 30, Seed: 12}),
+		}
+		res, err := RunMonitor(net, tr, ests, MonitorOptions{
+			Cadence: 10, ReplaySeed: 13, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(1), run(8)
+	for k := range a.Names() {
+		ea, eb := a.Estimates(k), b.Estimates(k)
+		for i := range ea {
+			if math.Float64bits(ea[i]) != math.Float64bits(eb[i]) {
+				t.Fatalf("instance %d sample %d differs: %g vs %g", k, i, ea[i], eb[i])
+			}
+		}
+	}
+}
+
+func TestTracePublicIORoundTrip(t *testing.T) {
+	tr, err := GenerateTrace(TraceOptions{Nodes: 100, Horizon: 50, Sessions: ParetoSessions, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf, csvBuf bytes.Buffer
+	if err := tr.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadTraceJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadTraceCSV(&csvBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, back := range []*Trace{fromJSON, fromCSV} {
+		if back.InitialNodes() != tr.InitialNodes() || back.Joins() != tr.Joins() ||
+			back.Leaves() != tr.Leaves() || back.Horizon() != tr.Horizon() {
+			t.Fatalf("round trip changed the trace: %d/%d/%d/%g vs %d/%d/%d/%g",
+				back.InitialNodes(), back.Joins(), back.Leaves(), back.Horizon(),
+				tr.InitialNodes(), tr.Joins(), tr.Leaves(), tr.Horizon())
+		}
+	}
+}
+
+func TestGenerateTraceRejectsBadOptions(t *testing.T) {
+	if _, err := GenerateTrace(TraceOptions{Horizon: 10}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := GenerateTrace(TraceOptions{Nodes: 10}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if _, err := GenerateTrace(TraceOptions{Nodes: 10, Horizon: 10, Sessions: SessionModel(99)}); err == nil {
+		t.Fatal("unknown session model accepted")
+	}
+}
