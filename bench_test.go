@@ -14,6 +14,7 @@ import (
 
 	"p2psize/internal/aggregation"
 	"p2psize/internal/churn"
+	"p2psize/internal/cyclon"
 	"p2psize/internal/experiments"
 	"p2psize/internal/graph"
 	"p2psize/internal/hopssampling"
@@ -88,6 +89,10 @@ func reportQuality(b *testing.B, fig *experiments.Figure) {
 // tracked PR-over-PR; CI uploads the file as an artifact.
 func BenchmarkSuite(b *testing.B) {
 	p := benchParams()
+	// Schedule from the previous run's measured wall times when its
+	// report is still on disk (static costHint fallback otherwise);
+	// scheduling never changes the report's deterministic fields.
+	p.CostModel = experiments.LoadCostModel("BENCH_results.json")
 	for i := 0; i < b.N; i++ {
 		report, _, err := experiments.RunSuite(nil, p)
 		if err != nil {
@@ -289,6 +294,73 @@ func BenchmarkAblationEventVsSweep(b *testing.B) {
 			e.Run()
 		}
 	})
+}
+
+// --- Sharded-round benches ----------------------------------------------
+
+// roundBenchSizes are the tentpole's reference scales: the paper's
+// 100,000 and 1,000,000 node networks, not the reduced bench scale —
+// the sharded sweep exists exactly for these sizes.
+var roundBenchSizes = []struct {
+	name string
+	n    int
+}{{"100k", 100000}, {"1M", 1000000}}
+
+// BenchmarkAggregationRound compares one sequential round sweep against
+// the sharded sweep (auto shard count, all CPUs) at 100k and 1M nodes.
+// On >= 4 cores the sharded sweep wins at 1M; BENCH_results.json tracks
+// the same comparison as the perf-agg-{seq,shard} suite experiments.
+func BenchmarkAggregationRound(b *testing.B) {
+	for _, size := range roundBenchSizes {
+		for _, mode := range []struct {
+			name            string
+			shards, workers int
+		}{{"seq", 1, 1}, {"shard", 0, 0}} {
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				net := benchNet(size.n, 30)
+				p := aggregation.New(aggregation.Config{
+					RoundsPerEpoch: 50, Shards: mode.shards, Workers: mode.workers,
+				}, xrand.New(31))
+				if err := p.StartEpoch(net); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RunRound(net)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCyclonRound is the same pair for the CYCLON shuffle rounds,
+// after 30% departures so stale-entry eviction is part of the workload.
+func BenchmarkCyclonRound(b *testing.B) {
+	for _, size := range roundBenchSizes {
+		for _, mode := range []struct {
+			name            string
+			shards, workers int
+		}{{"seq", 1, 1}, {"shard", 0, 0}} {
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				g := graph.Heterogeneous(size.n, 10, xrand.New(32))
+				cfg := cyclon.Default()
+				cfg.Shards = mode.shards
+				cfg.Workers = mode.workers
+				p := cyclon.New(cfg, xrand.New(33), nil)
+				p.Bootstrap(g)
+				rng := xrand.New(34)
+				alive := g.AliveIDs()
+				rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+				for _, id := range alive[:size.n*3/10] {
+					p.Leave(id)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RunRound()
+				}
+			})
+		}
+	}
 }
 
 // --- Extension benches ---------------------------------------------------

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"p2psize/internal/experiments"
+	"p2psize/internal/parallel"
 	"p2psize/internal/plot"
 	"p2psize/internal/trace"
 )
@@ -43,6 +44,8 @@ func main() {
 		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
+		shards    = flag.Int("shards", 0, "shard count for the intra-round Aggregation/CYCLON sweeps (0 = auto-size; part of the output, unlike -workers)")
+		costModel = flag.String("costmodel", "BENCH_results.json", "suite report supplying measured wall times for longest-job-first scheduling (missing file = static fallback)")
 		ascii     = flag.Bool("ascii", true, "print ASCII previews")
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		traceFile = flag.String("tracefile", "", "also run the continuous monitor on this empirical churn trace (.json or .csv), reported as experiment trace-file")
@@ -56,12 +59,17 @@ func main() {
 		return
 	}
 
+	if *shards < 0 || *shards > parallel.MaxConfigShards {
+		fatal(fmt.Errorf("-shards %d out of range [0, %d] (0 = auto-size)", *shards, parallel.MaxConfigShards))
+	}
 	params := experiments.Scaled(*scale)
 	if *full {
 		params = experiments.Defaults()
 	}
 	params.Seed = *seed
 	params.Workers = *workers
+	params.Shards = *shards
+	params.CostModel = experiments.LoadCostModel(*costModel)
 
 	var ids []string
 	if *only != "" {

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"p2psize"
+	"p2psize/internal/parallel"
 	"p2psize/internal/xrand"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		smooth   = flag.Bool("smooth", false, "apply the last10runs heuristic")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		workers  = flag.Int("workers", 0, "worker pool size for the estimation runs (0 = all CPUs, 1 = sequential); output is identical at any setting")
+		shards   = flag.Int("shards", 0, "shard count for the sweep inside each Aggregation round (0 = auto-size; part of the output, unlike -workers)")
 
 		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd, or a trace file (.json/.csv)")
 		horizon   = flag.Float64("horizon", 1000, "trace duration in simulated time units (generated traces)")
@@ -62,8 +64,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *shards < 0 || *shards > parallel.MaxConfigShards {
+		fatal(fmt.Errorf("-shards %d out of range [0, %d] (0 = auto-size)", *shards, parallel.MaxConfigShards))
+	}
+	// Split the CPU budget between the run-level fan-out and the sweep
+	// inside each Aggregation round, mirroring the experiments layer:
+	// repeated static runs saturate the pool themselves, so their epochs
+	// sweep sequentially; the monitor runs a handful of concurrent
+	// instances, so epochs shard on the leftover budget.
+	aggWorkers := parallel.Resolve(*workers)
+	if *traceSpec == "" && *runs > 1 {
+		aggWorkers = 1
+	} else if *traceSpec != "" {
+		aggWorkers = max(1, aggWorkers/4)
+	}
 	specs, err := buildEstimators(*algo, estOpts{
-		l: *l, timer: *timer, mle: *mle, rounds: *rounds, minHops: *minHops, seed: *seed,
+		l: *l, timer: *timer, mle: *mle, rounds: *rounds, shards: *shards,
+		aggWorkers: aggWorkers, minHops: *minHops, seed: *seed,
 	})
 	if err != nil {
 		fatal(err)
@@ -109,12 +126,14 @@ func main() {
 }
 
 type estOpts struct {
-	l       int
-	timer   float64
-	mle     bool
-	rounds  int
-	minHops int
-	seed    uint64
+	l          int
+	timer      float64
+	mle        bool
+	rounds     int
+	shards     int
+	aggWorkers int
+	minHops    int
+	seed       uint64
 }
 
 func parseTopology(s string) (p2psize.Topology, error) {
@@ -160,7 +179,7 @@ func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
 	}}
 	agg := estimatorSpec{"", func(run int) p2psize.Estimator {
 		return p2psize.NewAggregation(p2psize.AggregationOptions{
-			Rounds: o.rounds, Seed: aggSeed(run),
+			Rounds: o.rounds, Shards: o.shards, Workers: o.aggWorkers, Seed: aggSeed(run),
 		})
 	}}
 	tour := estimatorSpec{"", func(run int) p2psize.Estimator {

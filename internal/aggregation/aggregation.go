@@ -28,6 +28,7 @@ import (
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/stats"
 	"p2psize/internal/xrand"
 )
@@ -40,6 +41,19 @@ type Config struct {
 	// the targeted system size ... this value represents the best
 	// possible algorithm's reactivity for an accurate estimation").
 	RoundsPerEpoch int
+	// Shards splits each round's shuffled node sweep into this many
+	// segments, each drawing from its own per-round xrand stream;
+	// exchanges whose endpoints land in different shards are deferred to
+	// an ordered fix-up pass. The shard count (never the worker count)
+	// is part of the algorithm: changing it changes the draws, while at
+	// a fixed shard count the output is byte-identical at every Workers
+	// setting. 0 picks one shard per parallel.MinShardNodes alive nodes (at most
+	// parallel.MaxShards).
+	Shards int
+	// Workers caps the goroutines executing the shards of one round:
+	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
+	// only changes wall time, never output.
+	Workers int
 }
 
 // Default returns the paper's dynamic-setting configuration (50 rounds).
@@ -48,6 +62,9 @@ func Default() Config { return Config{RoundsPerEpoch: 50} }
 func (c *Config) validate() error {
 	if c.RoundsPerEpoch < 1 {
 		return errors.New("aggregation: RoundsPerEpoch must be >= 1")
+	}
+	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
+		return fmt.Errorf("aggregation: Shards must be in [0, %d]", parallel.MaxConfigShards)
 	}
 	return nil
 }
@@ -63,7 +80,24 @@ type Protocol struct {
 	epochOf   []uint32  // epoch tag a node participates in
 	epoch     uint32
 	initiator graph.NodeID
-	order     []int32 // scratch: shuffled alive indices
+	order     []int32      // scratch: shuffled alive indices
+	ownerOf   []uint16     // scratch: shard owning each node this round
+	shards    []shardState // scratch: per-shard sweep output
+}
+
+// pair is one deferred cross-shard exchange: u initiated, v was drawn.
+type pair struct {
+	u, v graph.NodeID
+}
+
+// shardState collects what one shard produces during the parallel phase
+// of a round: its exchange count (merged into the meter in shard order)
+// and, per target shard, the pairs it had to defer because the drawn
+// neighbor belongs there. Keeping deferrals bucketed by target is what
+// lets the fix-up pass run as a tournament of disjoint shard pairs.
+type shardState struct {
+	pairs uint64
+	def   [][]pair // indexed by the target's shard
 }
 
 // New builds a Protocol; it panics on invalid configuration.
@@ -142,6 +176,20 @@ func (p *Protocol) join(id graph.NodeID) {
 // reached by a counting message with a new tag will create a 0 initial
 // value") and the pair averages its values. It panics if called before
 // StartEpoch.
+//
+// The sweep is sharded: the shuffled order is cut into Config.Shards
+// contiguous segments, each sweeping its nodes with its own per-round
+// xrand stream. A shard completes an exchange immediately when the
+// drawn neighbor lies in its own segment — then both endpoints' values
+// are owned by that shard alone — and defers it otherwise. Deferred
+// pairs (the majority: a uniform neighbor lands outside its initiator's
+// shard with probability (S-1)/S) are applied in a fixed round-robin
+// tournament of shard pairs: within one tournament round no two
+// meetings share a shard, so the meetings run in parallel, and each
+// meeting applies first a's pairs targeting b, then b's targeting a, in
+// sweep order. The schedule is a pure function of the shard count, so
+// the result depends only on (seed, config, overlay), never on
+// Config.Workers or scheduling.
 func (p *Protocol) RunRound(net *overlay.Network) {
 	if p.epoch == 0 {
 		panic("aggregation: RunRound before StartEpoch")
@@ -149,6 +197,9 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	g := net.Graph()
 	p.grow(g.NumIDs())
 	n := g.NumAlive()
+	if n == 0 {
+		return
+	}
 	if cap(p.order) < n {
 		p.order = make([]int32, n)
 	}
@@ -157,24 +208,108 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		p.order[i] = int32(i)
 	}
 	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
-	for _, idx := range p.order {
-		// Mutating churn never happens mid-round; alive list is stable.
-		u := g.AliveAt(int(idx))
-		v, ok := g.RandomNeighbor(u, p.rng)
-		if !ok {
-			continue
+	// All per-node draws below come from streams of this one draw, so
+	// the protocol rng advances identically at every shard count.
+	roundSeed := p.rng.Uint64()
+	shards := parallel.Shards(p.cfg.Shards, n)
+
+	if shards == 1 {
+		rng := xrand.NewStream(roundSeed, 0)
+		for _, idx := range p.order {
+			// Mutating churn never happens mid-round; alive list is stable.
+			u := g.AliveAt(int(idx))
+			v, ok := g.RandomNeighbor(u, rng)
+			if !ok {
+				continue
+			}
+			net.Send(metrics.KindPush)
+			net.Send(metrics.KindPull)
+			p.exchange(u, v)
 		}
-		net.Send(metrics.KindPush)
-		net.Send(metrics.KindPull)
-		if !p.participant(u) && !p.participant(v) {
-			continue
-		}
-		p.join(u)
-		p.join(v)
-		avg := (p.values[u] + p.values[v]) / 2
-		p.values[u] = avg
-		p.values[v] = avg
+		return
 	}
+
+	if cap(p.ownerOf) < g.NumIDs() {
+		p.ownerOf = make([]uint16, g.NumIDs())
+	}
+	p.ownerOf = p.ownerOf[:g.NumIDs()]
+	for len(p.shards) < shards {
+		p.shards = append(p.shards, shardState{})
+	}
+	// Ownership prepass, parallel: each shard stamps the nodes of its
+	// own segment (distinct entries, so no write is shared).
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			p.ownerOf[g.AliveAt(int(p.order[i]))] = uint16(s)
+		}
+		return nil
+	})
+	// Phase 1, parallel: each shard touches only values it owns. Both
+	// endpoints of an immediate exchange lie in the shard's segment, so
+	// no value is read or written by two shards; workers therefore only
+	// shape scheduling.
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		rng := xrand.NewStream(roundSeed, uint64(s))
+		sh := &p.shards[s]
+		sh.pairs = 0
+		for len(sh.def) < shards {
+			sh.def = append(sh.def, nil)
+		}
+		for t := range sh.def {
+			sh.def[t] = sh.def[t][:0]
+		}
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			u := g.AliveAt(int(p.order[i]))
+			v, ok := g.RandomNeighbor(u, rng)
+			if !ok {
+				continue
+			}
+			sh.pairs++
+			if t := p.ownerOf[v]; t == uint16(s) {
+				p.exchange(u, v)
+			} else {
+				sh.def[t] = append(sh.def[t], pair{u: u, v: v})
+			}
+		}
+		return nil
+	})
+	// Meter merge in shard order (the totals are order-independent, the
+	// fixed order keeps even intermediate states deterministic).
+	for s := 0; s < shards; s++ {
+		sh := &p.shards[s]
+		net.SendN(metrics.KindPush, sh.pairs)
+		net.SendN(metrics.KindPull, sh.pairs)
+	}
+	// Phase 2: the cross-shard tournament. Every meeting {a, b} only
+	// touches values owned by a or b, and no tournament round repeats a
+	// shard, so the meetings of one round run concurrently while the
+	// exchange order stays fixed by the schedule.
+	for _, round := range parallel.RoundRobinPairs(shards) {
+		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
+			a, b := round[i][0], round[i][1]
+			for _, pr := range p.shards[a].def[b] {
+				p.exchange(pr.u, pr.v)
+			}
+			for _, pr := range p.shards[b].def[a] {
+				p.exchange(pr.u, pr.v)
+			}
+			return nil
+		})
+	}
+}
+
+// exchange performs one push-pull averaging between u and v: when either
+// endpoint participates in the current epoch the other joins with value
+// 0 and the pair averages.
+func (p *Protocol) exchange(u, v graph.NodeID) {
+	if !p.participant(u) && !p.participant(v) {
+		return
+	}
+	p.join(u)
+	p.join(v)
+	avg := (p.values[u] + p.values[v]) / 2
+	p.values[u] = avg
+	p.values[v] = avg
 }
 
 // EstimateAt returns the size estimate 1/value held at the given node,

@@ -71,13 +71,15 @@ func RunStaticParallel(newEstimator func(run int) Estimator, net *overlay.Networ
 }
 
 // RunDynamicParallel is RunDynamic with the estimation instances fanned
-// out across workers. Each instance gets its own clone of the overlay and
-// its own churn runner built from newRNG — which must return a fresh,
-// identically seeded generator on every call — so all clones replay the
-// exact same trajectory and instance k's estimates are what it would have
-// produced in the sequential interleaving. Per-instance message counts
-// are merged into the overlay's counter in instance order; the overlay
-// itself is left unmutated.
+// out across workers. Each instance gets its own copy-on-write clone of
+// the overlay (the overlay is the shared immutable base; each clone
+// pays only for the churn it replays) and its own churn runner built
+// from newRNG — which must return a fresh, identically seeded generator
+// on every call — so all clones replay the exact same trajectory and
+// instance k's estimates are what it would have produced in the
+// sequential interleaving. Per-instance message counts are merged into
+// the overlay's counter in instance order; the overlay itself is left
+// unmutated.
 func RunDynamicParallel(instances []Estimator, net *overlay.Network, cfg DynamicConfig, newRNG func() *xrand.Rand, workers int) (*DynamicResult, error) {
 	if len(instances) == 0 {
 		return nil, errors.New("core: RunDynamicParallel needs at least one estimator")
@@ -93,7 +95,7 @@ func RunDynamicParallel(instances []Estimator, net *overlay.Network, cfg Dynamic
 		counter   *metrics.Counter
 	}
 	outs, err := parallel.Map(workers, len(instances), func(k int) (instOut, error) {
-		clone := net.Clone()
+		clone := net.CloneCOW()
 		runner := churn.NewRunner(cfg.Scenario, newRNG())
 		var window *stats.Window
 		if cfg.SmoothLastK > 1 {

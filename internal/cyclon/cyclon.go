@@ -16,6 +16,13 @@
 // flushes dead peers out of views because their entries age until they
 // are chosen for a shuffle, fail, and are dropped.
 //
+// Views are stored in a dense slice indexed by node ID, which lets one
+// round's shuffles shard across goroutines exactly like the Aggregation
+// sweep: the shuffled initiator order is cut into segments with
+// per-shard xrand streams, shuffles whose target lies in another shard
+// are deferred to an ordered fix-up pass, and the resulting views are
+// byte-identical at every Config.Workers setting.
+//
 // The package maintains its own directed views and can export the
 // induced undirected graph as an overlay for the size estimators,
 // closing the loop: estimators running on a CYCLON-maintained overlay
@@ -26,11 +33,11 @@ package cyclon
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/xrand"
 )
 
@@ -42,6 +49,17 @@ type Config struct {
 	ViewSize int
 	// ShuffleLen is how many entries travel per shuffle (<= ViewSize).
 	ShuffleLen int
+	// Shards splits each round's shuffled initiator order into this many
+	// segments on per-round xrand streams; cross-shard shuffles are
+	// deferred to an ordered fix-up pass. Like the Aggregation sweep,
+	// the shard count is part of the algorithm while Workers only shapes
+	// scheduling. 0 picks one shard per parallel.MinShardNodes peers (at
+	// most parallel.MaxShards).
+	Shards int
+	// Workers caps the goroutines executing the shards of one round:
+	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
+	// only changes wall time, never output.
+	Workers int
 }
 
 // Default returns ViewSize 8, ShuffleLen 4.
@@ -54,6 +72,9 @@ func (c *Config) validate() error {
 	if c.ShuffleLen < 1 || c.ShuffleLen > c.ViewSize {
 		return errors.New("cyclon: ShuffleLen must be in [1, ViewSize]")
 	}
+	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
+		return fmt.Errorf("cyclon: Shards must be in [0, %d]", parallel.MaxConfigShards)
+	}
 	return nil
 }
 
@@ -62,12 +83,35 @@ type entry struct {
 	age  int32
 }
 
-// Protocol is a running CYCLON instance over a set of peers.
+// Protocol is a running CYCLON instance over a set of peers. Views live
+// in dense slices indexed by node ID so concurrent shards can write
+// distinct peers' views without sharing map internals.
 type Protocol struct {
 	cfg     Config
 	rng     *xrand.Rand
-	views   map[graph.NodeID][]entry
+	views   [][]entry // indexed by node ID; meaningful iff member[id]
+	member  []bool
+	count   int
 	counter *metrics.Counter
+
+	order   []graph.NodeID // scratch: shuffled member ids
+	ownerOf []uint16       // scratch: shard owning each peer this round
+	shards  []shardState   // scratch: per-shard round output
+}
+
+// deferred is one cross-shard shuffle: id initiated, q is its (live)
+// oldest neighbor, owned by another shard.
+type deferred struct {
+	id, q graph.NodeID
+}
+
+// shardState collects one shard's round output: its message count
+// (merged in shard order) and, per target shard, the shuffles deferred
+// because the oldest neighbor belongs there. Bucketing by target lets
+// the fix-up pass run as a tournament of disjoint shard pairs.
+type shardState struct {
+	msgs uint64
+	def  [][]deferred // indexed by the target's shard
 }
 
 // New builds a protocol instance; counter may be nil.
@@ -81,24 +125,39 @@ func New(cfg Config, rng *xrand.Rand, counter *metrics.Counter) *Protocol {
 	if counter == nil {
 		counter = &metrics.Counter{}
 	}
-	return &Protocol{
-		cfg:     cfg,
-		rng:     rng,
-		views:   make(map[graph.NodeID][]entry),
-		counter: counter,
-	}
+	return &Protocol{cfg: cfg, rng: rng, counter: counter}
 }
 
 // Counter returns the message meter (shuffle request/reply pairs).
 func (p *Protocol) Counter() *metrics.Counter { return p.counter }
 
 // Size returns the number of participating peers.
-func (p *Protocol) Size() int { return len(p.views) }
+func (p *Protocol) Size() int { return p.count }
+
+// grow extends the dense view storage to cover ids [0, n).
+func (p *Protocol) grow(n int) {
+	for len(p.views) < n {
+		p.views = append(p.views, nil)
+		p.member = append(p.member, false)
+	}
+}
+
+// appendMemberIDs appends the participating peer ids in ascending order
+// — the deterministic base order every round and join shuffles from.
+func (p *Protocol) appendMemberIDs(dst []graph.NodeID) []graph.NodeID {
+	for id, in := range p.member {
+		if in {
+			dst = append(dst, graph.NodeID(id))
+		}
+	}
+	return dst
+}
 
 // Bootstrap populates views from an existing overlay graph: each node's
 // initial view is a random subset of its graph neighbors (capped at
 // ViewSize), age zero.
 func (p *Protocol) Bootstrap(g *graph.Graph) {
+	p.grow(g.NumIDs())
 	g.ForEachAlive(func(id graph.NodeID) {
 		nbrs := g.Neighbors(id)
 		view := make([]entry, 0, p.cfg.ViewSize)
@@ -109,6 +168,10 @@ func (p *Protocol) Bootstrap(g *graph.Graph) {
 			}
 			view = append(view, entry{node: nbrs[i]})
 		}
+		if !p.member[id] {
+			p.member[id] = true
+			p.count++
+		}
 		p.views[id] = view
 	})
 }
@@ -117,16 +180,13 @@ func (p *Protocol) Bootstrap(g *graph.Graph) {
 // existing participants (the introducer mechanism). Joining twice
 // panics.
 func (p *Protocol) Join(id graph.NodeID) {
-	if _, dup := p.views[id]; dup {
+	p.grow(int(id) + 1)
+	if p.member[id] {
 		panic(fmt.Sprintf("cyclon: node %d already participates", id))
 	}
-	// A seeded random sample of participants, not the first map keys:
-	// map order would seed different views on identical runs.
-	ids := make([]graph.NodeID, 0, len(p.views))
-	for other := range p.views {
-		ids = append(ids, other)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// A seeded random sample of participants in a fixed base order, so
+	// identical runs seed identical views.
+	ids := p.appendMemberIDs(nil)
 	p.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	view := make([]entry, 0, p.cfg.ViewSize)
 	for _, other := range ids {
@@ -135,26 +195,32 @@ func (p *Protocol) Join(id graph.NodeID) {
 		}
 		view = append(view, entry{node: other})
 	}
+	p.member[id] = true
+	p.count++
 	p.views[id] = view
 }
 
 // Leave removes a peer silently — exactly how real churn behaves; other
 // views still hold stale pointers that shuffling will discover and drop.
 func (p *Protocol) Leave(id graph.NodeID) {
-	if _, ok := p.views[id]; !ok {
+	if !p.Alive(id) {
 		panic(fmt.Sprintf("cyclon: node %d does not participate", id))
 	}
-	delete(p.views, id)
+	p.member[id] = false
+	p.views[id] = nil
+	p.count--
 }
 
 // Alive reports whether the peer participates.
 func (p *Protocol) Alive(id graph.NodeID) bool {
-	_, ok := p.views[id]
-	return ok
+	return id >= 0 && int(id) < len(p.member) && p.member[id]
 }
 
 // View returns a copy of a peer's current neighbor list.
 func (p *Protocol) View(id graph.NodeID) []graph.NodeID {
+	if !p.Alive(id) {
+		return nil
+	}
 	view := p.views[id]
 	out := make([]graph.NodeID, len(view))
 	for i, e := range view {
@@ -167,29 +233,134 @@ func (p *Protocol) View(id graph.NodeID) []graph.NodeID {
 // Each successful shuffle costs one request and one reply message; a
 // shuffle aimed at a dead peer costs the request only and evicts the
 // stale entry.
+//
+// The round is sharded like aggregation.RunRound: the shuffled
+// initiator order is cut into Config.Shards segments, each running on
+// its own per-round xrand stream. A shard whose initiator targets a
+// peer of the same shard completes the exchange immediately (both views
+// are shard-owned); targets in other shards are deferred — the age bump
+// and target eviction still happen in phase 1, on the initiator's own
+// view. Deferred shuffles complete in a fixed round-robin tournament of
+// shard pairs: each meeting {a, b} owns both endpoints' views, draws
+// from its own pair stream, and applies first a's shuffles targeting b,
+// then b's targeting a, in sweep order; no tournament round repeats a
+// shard, so meetings run concurrently. Views are byte-identical at
+// every Config.Workers setting.
 func (p *Protocol) RunRound() {
-	ids := make([]graph.NodeID, 0, len(p.views))
-	for id := range p.views {
-		ids = append(ids, id)
+	n := p.count
+	if n == 0 {
+		return
 	}
-	// Map iteration order is nondeterministic; determinism comes from
-	// sorting into a stable order and then shuffling with the seeded rng.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	p.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
-	for _, id := range ids {
-		if _, still := p.views[id]; still {
-			p.shuffle(id)
+	p.order = p.appendMemberIDs(p.order[:0])
+	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
+	// One draw feeds every per-shard stream, so the protocol rng
+	// advances identically at every shard count.
+	roundSeed := p.rng.Uint64()
+	shards := parallel.Shards(p.cfg.Shards, n)
+
+	if shards == 1 {
+		rng := xrand.NewStream(roundSeed, 0)
+		for _, id := range p.order {
+			q, ok := p.beginShuffle(id)
+			if !ok {
+				continue
+			}
+			p.counter.Inc(metrics.KindControl) // shuffle request
+			if !p.Alive(q) {
+				// Dead neighbor discovered: the request times out and the
+				// stale entry stays dropped — CYCLON's churn flushing.
+				continue
+			}
+			p.counter.Inc(metrics.KindControl) // shuffle reply
+			p.completeShuffle(id, q, rng)
 		}
+		return
+	}
+
+	if cap(p.ownerOf) < len(p.views) {
+		p.ownerOf = make([]uint16, len(p.views))
+	}
+	p.ownerOf = p.ownerOf[:len(p.views)]
+	for len(p.shards) < shards {
+		p.shards = append(p.shards, shardState{})
+	}
+	// Ownership prepass, parallel: each shard stamps its own segment.
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			p.ownerOf[p.order[i]] = uint16(s)
+		}
+		return nil
+	})
+	// Phase 1, parallel: a shard mutates only views of peers it owns —
+	// the initiator is owned by construction and an immediate exchange
+	// requires the target to be too. Membership is frozen mid-round, so
+	// Alive reads race with nothing.
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		rng := xrand.NewStream(roundSeed, uint64(s))
+		sh := &p.shards[s]
+		sh.msgs = 0
+		for len(sh.def) < shards {
+			sh.def = append(sh.def, nil)
+		}
+		for t := range sh.def {
+			sh.def[t] = sh.def[t][:0]
+		}
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			id := p.order[i]
+			q, ok := p.beginShuffle(id)
+			if !ok {
+				continue
+			}
+			sh.msgs++ // shuffle request
+			if !p.Alive(q) {
+				continue
+			}
+			if t := p.ownerOf[q]; t == uint16(s) {
+				sh.msgs++ // shuffle reply
+				p.completeShuffle(id, q, rng)
+			} else {
+				sh.def[t] = append(sh.def[t], deferred{id: id, q: q})
+			}
+		}
+		return nil
+	})
+	// Meter merge in shard order; every deferred shuffle has a live
+	// target, so its reply is countable here rather than inside the
+	// (concurrent) tournament meetings.
+	for s := 0; s < shards; s++ {
+		sh := &p.shards[s]
+		p.counter.Add(metrics.KindControl, sh.msgs)
+		for t := range sh.def {
+			p.counter.Add(metrics.KindControl, uint64(len(sh.def[t])))
+		}
+	}
+	// Phase 2: the cross-shard tournament. Meeting {a, b} touches only
+	// views owned by a or b and draws from its own pair stream, so the
+	// meetings of one tournament round run concurrently with output
+	// fixed by the schedule.
+	for _, round := range parallel.RoundRobinPairs(shards) {
+		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
+			a, b := round[i][0], round[i][1]
+			rng := xrand.NewStream(roundSeed, uint64(shards+a*shards+b))
+			for _, d := range p.shards[a].def[b] {
+				p.completeShuffle(d.id, d.q, rng)
+			}
+			for _, d := range p.shards[b].def[a] {
+				p.completeShuffle(d.id, d.q, rng)
+			}
+			return nil
+		})
 	}
 }
 
-// shuffle runs one exchange initiated by id.
-func (p *Protocol) shuffle(id graph.NodeID) {
+// beginShuffle runs the initiator-local half of a shuffle on id's own
+// view: ages increase, the oldest neighbor q is picked and evicted. It
+// reports false for an empty view.
+func (p *Protocol) beginShuffle(id graph.NodeID) (graph.NodeID, bool) {
 	view := p.views[id]
 	if len(view) == 0 {
-		return
+		return graph.None, false
 	}
-	// 1. Increase ages; pick the oldest neighbor q.
 	oldest := 0
 	for i := range view {
 		view[i].age++
@@ -200,38 +371,36 @@ func (p *Protocol) shuffle(id graph.NodeID) {
 	q := view[oldest].node
 	// Remove q from the view (it is being contacted).
 	view[oldest] = view[len(view)-1]
-	view = view[:len(view)-1]
-	p.views[id] = view
+	p.views[id] = view[:len(view)-1]
+	return q, true
+}
 
-	p.counter.Inc(metrics.KindControl) // shuffle request
-	qView, qAlive := p.views[q]
-	if !qAlive {
-		// Dead neighbor discovered: the request times out and the stale
-		// entry stays dropped. This is CYCLON's churn-flushing mechanism.
-		return
-	}
-	p.counter.Inc(metrics.KindControl) // shuffle reply
-
-	// 2. Build the outgoing subset: fresh self-pointer + up to
+// completeShuffle runs the exchange between initiator id and its live
+// target q: both draw their outgoing subsets from rng and merge what
+// they received.
+func (p *Protocol) completeShuffle(id, q graph.NodeID, rng *xrand.Rand) {
+	view := p.views[id]
+	// Build the outgoing subset: fresh self-pointer + up to
 	// ShuffleLen-1 random entries from the (q-less) view.
 	out := []entry{{node: id, age: 0}}
-	idxs := p.rng.Perm(len(view))
+	idxs := rng.Perm(len(view))
 	for _, i := range idxs {
 		if len(out) == p.cfg.ShuffleLen {
 			break
 		}
 		out = append(out, view[i])
 	}
-	// 3. q answers with a random subset of its own view.
+	// q answers with a random subset of its own view.
+	qView := p.views[q]
 	back := make([]entry, 0, p.cfg.ShuffleLen)
-	qIdxs := p.rng.Perm(len(qView))
+	qIdxs := rng.Perm(len(qView))
 	for _, i := range qIdxs {
 		if len(back) == p.cfg.ShuffleLen {
 			break
 		}
 		back = append(back, qView[i])
 	}
-	// 4. Both merge what they received.
+	// Both merge what they received.
 	p.views[q] = p.merge(q, qView, out, back)
 	p.views[id] = p.merge(id, p.views[id], back, out)
 }
@@ -288,8 +457,8 @@ func (p *Protocol) merge(owner graph.NodeID, view, received, sent []entry) []ent
 // the result exactly as on the paper's static graphs.
 func (p *Protocol) ExportGraph(maxID int) *graph.Graph {
 	g := graph.NewWithNodes(maxID)
-	for id := range p.views {
-		if int(id) >= maxID {
+	for id := maxID; id < len(p.member); id++ {
+		if p.member[id] {
 			panic(fmt.Sprintf("cyclon: node %d beyond maxID %d", id, maxID))
 		}
 	}
@@ -298,10 +467,13 @@ func (p *Protocol) ExportGraph(maxID int) *graph.Graph {
 			g.RemoveNode(id)
 		}
 	}
-	// Add edges in id order, not map order: adjacency order decides every
-	// later RandomNeighbor draw, so map iteration here would make exported
-	// overlays differ between identically seeded runs.
-	for id := graph.NodeID(0); int(id) < maxID; id++ {
+	// Add edges in id order: adjacency order decides every later
+	// RandomNeighbor draw, so identically seeded runs must export
+	// identical orders.
+	for id := graph.NodeID(0); int(id) < maxID && int(id) < len(p.views); id++ {
+		if !p.member[id] {
+			continue
+		}
 		for _, e := range p.views[id] {
 			if p.Alive(e.node) {
 				g.AddEdge(id, e.node)
@@ -322,7 +494,10 @@ func (p *Protocol) ExportOverlay(maxID, maxDeg int) *overlay.Network {
 // peers — the health metric shuffling drives toward zero after churn.
 func (p *Protocol) StaleFraction() float64 {
 	total, stale := 0, 0
-	for _, view := range p.views {
+	for id, view := range p.views {
+		if !p.member[id] {
+			continue
+		}
 		for _, e := range view {
 			total++
 			if !p.Alive(e.node) {
@@ -338,12 +513,14 @@ func (p *Protocol) StaleFraction() float64 {
 
 // AvgViewSize returns the mean view occupancy.
 func (p *Protocol) AvgViewSize() float64 {
-	if len(p.views) == 0 {
+	if p.count == 0 {
 		return 0
 	}
 	total := 0
-	for _, view := range p.views {
-		total += len(view)
+	for id, view := range p.views {
+		if p.member[id] {
+			total += len(view)
+		}
 	}
-	return float64(total) / float64(len(p.views))
+	return float64(total) / float64(p.count)
 }

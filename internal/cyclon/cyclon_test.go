@@ -59,7 +59,7 @@ func TestViewCapacityInvariant(t *testing.T) {
 	for r := 0; r < 30; r++ {
 		p.RunRound()
 	}
-	for id := range p.views {
+	for _, id := range p.appendMemberIDs(nil) {
 		view := p.views[id]
 		if len(view) > p.cfg.ViewSize {
 			t.Fatalf("view of %d has %d entries, cap %d", id, len(view), p.cfg.ViewSize)
@@ -95,10 +95,7 @@ func TestChurnFlushesStaleEntries(t *testing.T) {
 	p := bootstrapped(1000, 4)
 	rng := xrand.New(5)
 	// Kill 30% of peers silently.
-	ids := make([]graph.NodeID, 0, p.Size())
-	for id := range p.views {
-		ids = append(ids, id)
-	}
+	ids := p.appendMemberIDs(nil)
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	for _, id := range ids[:300] {
 		p.Leave(id)
@@ -140,7 +137,7 @@ func TestJoinSeedsView(t *testing.T) {
 		p.RunRound()
 	}
 	indeg := 0
-	for id := range p.views {
+	for _, id := range p.appendMemberIDs(nil) {
 		if id == newID {
 			continue
 		}
@@ -213,10 +210,7 @@ func TestEstimationOnCyclonOverlayUnderChurn(t *testing.T) {
 	// through churn.
 	p := bootstrapped(2000, 11)
 	rng := xrand.New(12)
-	ids := make([]graph.NodeID, 0, p.Size())
-	for id := range p.views {
-		ids = append(ids, id)
-	}
+	ids := p.appendMemberIDs(nil)
 	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	for _, id := range ids[:800] { // -40%
 		p.Leave(id)

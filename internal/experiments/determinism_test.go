@@ -21,6 +21,9 @@ func determinismParams(workers int) Params {
 	p.TableRuns = 8
 	p.TraceHorizon = 100 // 10 monitor samples at the default cadence
 	p.Workers = workers
+	// Auto-sharding would pick one shard at this scale; force several so
+	// the invariance assertions cover the cross-shard fix-up passes.
+	p.Shards = 4
 	return p
 }
 
@@ -68,12 +71,16 @@ func figuresEqual(a, b *Figure) error {
 // Params.Seed yields byte-identical Figure series at workers=1 and
 // workers=8, covering a static experiment per estimator (fig01 S&C,
 // fig03 Hops, fig05 Aggregation), every dynamic shape (fig09 S&C churn,
-// fig12 Hops churn, fig15 epoch-restarted Aggregation), and Table I.
+// fig12 Hops churn, fig15 epoch-restarted Aggregation), Table I, and —
+// with Shards forced to 4 — the sharded Aggregation/CYCLON round paths
+// (perf-*-shard, ext-cyclon) including their cross-shard fix-up passes.
 func TestWorkerCountInvariance(t *testing.T) {
 	ids := []string{"fig01", "fig03", "fig05", "fig09", "fig12", "fig15", "table1",
-		"trace-weibull", "trace-diurnal", "trace-flashcrowd"}
+		"trace-weibull", "trace-diurnal", "trace-flashcrowd",
+		"perf-agg-shard", "perf-cyclon-shard", "ext-cyclon"}
 	if testing.Short() {
-		ids = []string{"fig01", "fig12", "table1", "trace-flashcrowd"}
+		ids = []string{"fig01", "fig12", "table1", "trace-flashcrowd",
+			"perf-agg-shard", "perf-cyclon-shard"}
 	}
 	for _, id := range ids {
 		t.Run(id, func(t *testing.T) {
@@ -173,6 +180,9 @@ func TestRunSuiteReportShape(t *testing.T) {
 	}
 	if report.Schema != ReportSchema {
 		t.Fatalf("schema = %q", report.Schema)
+	}
+	if report.Shards != 4 {
+		t.Fatalf("report.Shards = %d, want the Params setting (4); shard count is part of the output identity", report.Shards)
 	}
 	if len(report.Experiments) != 1 || report.Experiments[0].ID != "fig01" {
 		t.Fatalf("experiments = %+v", report.Experiments)

@@ -159,9 +159,10 @@ func aggDynamic(id, title string, scenario churn.Scenario, p Params, stream uint
 		trackN   int
 		counter  *metrics.Counter
 	}
-	outs, err := parallel.Map(p.Workers, instances, func(k int) (instOut, error) {
-		clone := net.Clone()
-		proto := aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+	outer, inner := splitWorkers(p, instances)
+	outs, err := parallel.Map(outer, instances, func(k int) (instOut, error) {
+		clone := net.CloneCOW()
+		proto := aggregation.New(aggConfig(p, inner),
 			xrand.New(p.Seed+stream+10+uint64(k)))
 		if err := proto.StartEpoch(clone); err != nil {
 			return instOut{}, fmt.Errorf("%s: %w", id, err)

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"sort"
 
+	"p2psize/internal/aggregation"
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/xrand"
 )
 
@@ -64,6 +66,18 @@ type Params struct {
 	// runtime.NumCPU(), 1 forces sequential execution. Output is
 	// byte-identical at every setting; Workers only changes wall time.
 	Workers int
+	// Shards splits the round sweeps *inside* one Aggregation estimation
+	// and one CYCLON shuffle round into this many per-stream segments
+	// (0 = auto-size from the overlay). Unlike Workers, the shard count
+	// is part of the algorithms' output: equal Params must keep it equal.
+	// At any fixed value the output stays byte-identical at every
+	// Workers setting.
+	Shards int
+	// CostModel optionally maps experiment ids to measured wall times in
+	// milliseconds (from a previous suite report, see LoadCostModel);
+	// RunSuite schedules longest-first from it, falling back to the
+	// static costHint table when nil. Scheduling only — never output.
+	CostModel map[string]float64
 }
 
 // Defaults returns the paper-scale parameters.
@@ -172,6 +186,25 @@ func Run(id string, p Params) (*Figure, error) {
 func hetNet(n int, p Params, stream uint64) *overlay.Network {
 	rng := xrand.New(p.Seed + stream)
 	return overlay.New(graph.Heterogeneous(n, p.MaxDeg, rng), p.MaxDeg, nil)
+}
+
+// aggConfig assembles the Aggregation configuration used across the
+// experiments: the paper's epoch length plus the sharded-sweep settings.
+// workers is the intra-round goroutine budget for this call site — pass
+// 1 where the estimator already sits under a wide run-level fan-out.
+func aggConfig(p Params, workers int) aggregation.Config {
+	return aggregation.Config{RoundsPerEpoch: p.EpochLen, Shards: p.Shards, Workers: workers}
+}
+
+// splitWorkers divides the Params.Workers budget between an outer
+// fan-out of the given width and the inner parallelism each lane gets
+// (sharded rounds, nested run pools). Like RunSuite's split this only
+// shapes load: output is invariant to any split.
+func splitWorkers(p Params, width int) (outer, inner int) {
+	w := parallel.Resolve(p.Workers)
+	outer = min(w, width)
+	inner = max(1, w/outer)
+	return outer, inner
 }
 
 // scaleFreeNet builds the Fig 7/8 topology: Barabási–Albert with m = 3.

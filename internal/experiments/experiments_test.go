@@ -40,7 +40,9 @@ func TestRegistryComplete(t *testing.T) {
 		"ext-classes", "ext-cyclon", "ext-delay", "ext-walks",
 		"fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07",
 		"fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "fig16", "fig17", "fig18", "table1",
+		"fig15", "fig16", "fig17", "fig18",
+		"perf-agg-seq", "perf-agg-shard", "perf-cyclon-seq", "perf-cyclon-shard",
+		"table1",
 		"trace-diurnal", "trace-flashcrowd", "trace-weibull",
 	}
 	got := IDs()

@@ -119,7 +119,7 @@ func extClasses(p Params) (*Figure, error) {
 			return hopssampling.New(hopssampling.Default(), xrand.NewStream(p.Seed+0x3103, uint64(run)))
 		}},
 		{"aggregation(50)", func(run int) core.Estimator {
-			return aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.NewStream(p.Seed+0x3104, uint64(run)))
+			return aggregation.NewEstimator(aggConfig(p, 1), xrand.NewStream(p.Seed+0x3104, uint64(run)))
 		}},
 		{"polling(p=0.01)", func(run int) core.Estimator {
 			return polling.New(polling.Default(), xrand.NewStream(p.Seed+0x3105, uint64(run)))
@@ -236,7 +236,12 @@ func extCyclon(p Params) (*Figure, error) {
 	}
 	n := p.N100k
 	g := graph.Heterogeneous(n, p.MaxDeg, xrand.New(p.Seed+0x3300))
-	proto := cyclon.New(cyclon.Default(), xrand.New(p.Seed+0x3301), nil)
+	// The shuffle rounds are this experiment's hot loop: shard them on
+	// the full worker budget (CYCLON runs alone here, no outer fan-out).
+	ccfg := cyclon.Default()
+	ccfg.Shards = p.Shards
+	ccfg.Workers = p.Workers
+	proto := cyclon.New(ccfg, xrand.New(p.Seed+0x3301), nil)
 	proto.Bootstrap(g)
 
 	// The no-repair baseline: remove the same peers from a plain graph.

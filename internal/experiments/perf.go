@@ -1,0 +1,106 @@
+package experiments
+
+// Intra-round sharding benchmarks as first-class experiments: the same
+// round workload is registered twice, once forced sequential (Shards=1,
+// Workers=1) and once sharded on the Params budget. Both land in every
+// suite report — and therefore in BENCH_results.json — so cmd/benchdiff
+// gates the sequential baseline and the sharded sweep PR-over-PR, and
+// the seq/shard wall-time columns document the speedup on the hardware
+// that produced the report. The plotted series are derived from
+// protocol state only, so they are byte-identical at every worker
+// count (the determinism tests cover the sharded variants).
+
+import (
+	"fmt"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/cyclon"
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	register("perf-agg-seq", func(p Params) (*Figure, error) {
+		return perfAggRounds("perf-agg-seq", "Aggregation round sweep, sequential baseline", p, 1, 1)
+	})
+	register("perf-agg-shard", func(p Params) (*Figure, error) {
+		return perfAggRounds("perf-agg-shard", "Aggregation round sweep, sharded", p, p.Shards, p.Workers)
+	})
+	register("perf-cyclon-seq", func(p Params) (*Figure, error) {
+		return perfCyclonRounds("perf-cyclon-seq", "CYCLON shuffle rounds, sequential baseline", p, 1, 1)
+	})
+	register("perf-cyclon-shard", func(p Params) (*Figure, error) {
+		return perfCyclonRounds("perf-cyclon-shard", "CYCLON shuffle rounds, sharded", p, p.Shards, p.Workers)
+	})
+}
+
+// perfRounds is the per-size round count: enough sweep work that the
+// wall time measures the rounds, not the overlay construction.
+const perfRounds = 20
+
+// perfAggRounds runs one Aggregation epoch fragment of perfRounds
+// rounds at both workload sizes and plots the initiator's estimate per
+// round — a deterministic series whose checksum doubles as an output
+// lock on the sweep.
+func perfAggRounds(id, title string, p Params, shards, workers int) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "#Round",
+		YLabel: "Estimated size",
+	}
+	for _, size := range []int{p.N100k, p.N1M} {
+		net := hetNet(size, p, 0x5000+uint64(size))
+		cfg := aggregation.Config{RoundsPerEpoch: perfRounds, Shards: shards, Workers: workers}
+		proto := aggregation.New(cfg, xrand.New(p.Seed+0x5001))
+		if err := proto.StartEpoch(net); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		s := &metrics.Series{Name: fmt.Sprintf("N=%d", size)}
+		for round := 1; round <= perfRounds; round++ {
+			proto.RunRound(net)
+			est, _ := proto.Estimate(net)
+			s.Append(float64(round), est)
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Messages += net.Counter().Total()
+	}
+	fig.AddNote("%d rounds per size; compare this experiment's wall time against its seq/shard sibling", perfRounds)
+	return fig, nil
+}
+
+// perfCyclonRounds drops 30% of the peers and runs perfRounds shuffle
+// rounds at both workload sizes, plotting the stale-entry flush — the
+// same deterministic health curve ext-cyclon tracks.
+func perfCyclonRounds(id, title string, p Params, shards, workers int) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Shuffle round after 30% departures",
+		YLabel: "Stale view entries %",
+	}
+	for _, size := range []int{p.N100k, p.N1M} {
+		g := graph.Heterogeneous(size, p.MaxDeg, xrand.New(p.Seed+0x5100+uint64(size)))
+		cfg := cyclon.Default()
+		cfg.Shards = shards
+		cfg.Workers = workers
+		proto := cyclon.New(cfg, xrand.New(p.Seed+0x5101), nil)
+		proto.Bootstrap(g)
+		rng := xrand.New(p.Seed + 0x5102)
+		alive := g.AliveIDs()
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		for _, id := range alive[:size*3/10] {
+			proto.Leave(id)
+		}
+		s := &metrics.Series{Name: fmt.Sprintf("N=%d", size)}
+		for round := 1; round <= perfRounds; round++ {
+			proto.RunRound()
+			s.Append(float64(round), 100*proto.StaleFraction())
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Messages += proto.Counter().Total()
+	}
+	fig.AddNote("%d rounds per size; compare this experiment's wall time against its seq/shard sibling", perfRounds)
+	return fig, nil
+}

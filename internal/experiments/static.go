@@ -165,9 +165,12 @@ func aggStatic(id, title string, n int, p Params, stream uint64) (*Figure, error
 		converged int
 		counter   metrics.Counter
 	}
-	outs, err := parallel.Map(p.Workers, 3, func(k int) (estOut, error) {
+	// Three instances outside, sharded round sweeps inside: split the
+	// budget between the levels like RunSuite does.
+	outer, inner := splitWorkers(p, 3)
+	outs, err := parallel.Map(outer, 3, func(k int) (estOut, error) {
 		view := net.View()
-		proto := aggregation.New(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+		proto := aggregation.New(aggConfig(p, inner),
 			xrand.New(p.Seed+stream+10+uint64(k)))
 		if err := proto.StartEpoch(view); err != nil {
 			return estOut{}, fmt.Errorf("%s: %w", id, err)
@@ -253,8 +256,9 @@ func fig08(p Params) (*Figure, error) {
 	}
 	candidates := []cand{
 		{"Aggregation", func(run int) core.Estimator {
+			// Workers 1: the estimator already sits two fan-out levels deep.
 			return aggregation.NewEstimator(
-				aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.NewStream(p.Seed+0x0801, uint64(run)))
+				aggConfig(p, 1), xrand.NewStream(p.Seed+0x0801, uint64(run)))
 		}, false},
 		{"Sample&collide", func(run int) core.Estimator {
 			return samplecollide.New(

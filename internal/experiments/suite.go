@@ -45,9 +45,14 @@ type ExperimentReport struct {
 // in this same schema, so the perf trajectory (wall times, message
 // totals) and the output identity (checksums) are tracked PR-over-PR.
 type SuiteReport struct {
-	Schema      string             `json:"schema"`
-	Seed        uint64             `json:"seed"`
-	Workers     int                `json:"workers"`
+	Schema  string `json:"schema"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	// Shards records Params.Shards: unlike Workers it is part of the
+	// deterministic output, so two reports with equal seeds but
+	// different shard settings legitimately differ in checksums. Older
+	// reports decode as 0 (= auto), which is what they ran with.
+	Shards      int                `json:"shards"`
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	N100k       int                `json:"n100k"`
 	N1M         int                `json:"n1m"`
@@ -93,44 +98,94 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 	return r
 }
 
-// costHint ranks experiments by expected wall time so the suite can
-// schedule longest jobs first. The values are coarse relative weights
-// measured from bench runs — exactness does not matter, only that the
-// dominating experiments (the 10k-round dynamic Aggregation figures,
-// then the trace monitors and the 1M-node workloads) start before the
-// cheap ones, so they are not left to run alone at the tail of the
-// suite on an otherwise idle machine.
+// costHint is the static fallback ranking of experiments by expected
+// wall time, used when no measured cost model is available. The values
+// are coarse relative weights measured from bench runs — exactness does
+// not matter, only that the dominating experiments (the 10k-round
+// dynamic Aggregation figures, then the trace monitors and the 1M-node
+// workloads) start before the cheap ones, so they are not left to run
+// alone at the tail of the suite on an otherwise idle machine.
 var costHint = map[string]int{
 	"fig15": 100, "fig16": 100, "fig17": 100, // AggHorizon rounds × N100k sweeps
 	"trace-weibull": 60, "trace-diurnal": 60, "trace-flashcrowd": 60,
-	"fig06": 40,              // AggStaticRounds × N1M
+	"fig06":        40,                       // AggStaticRounds × N1M
+	"perf-agg-seq": 35, "perf-agg-shard": 35, // 1M-node round sweeps
+	"perf-cyclon-seq": 35, "perf-cyclon-shard": 35,
 	"fig02": 30, "fig04": 30, // 1M-node estimation runs
 	"ext-cyclon": 25, "ext-walks": 20, "ext-delay": 20,
 	"table1": 15,
 }
 
+// CostModelFromReport extracts measured per-experiment wall times (ms)
+// from a prior suite report, for Params.CostModel. Errored entries are
+// skipped — their wall times measure the failure, not the work.
+func CostModelFromReport(r *SuiteReport) map[string]float64 {
+	model := make(map[string]float64, len(r.Experiments))
+	for _, e := range r.Experiments {
+		if e.Error == "" && e.WallMS > 0 {
+			model[e.ID] = e.WallMS
+		}
+	}
+	return model
+}
+
+// LoadCostModel reads a suite report (BENCH_results.json / REPORT.json)
+// and returns its measured cost model. Any failure — missing file,
+// unknown schema, empty report — returns nil, which makes RunSuite fall
+// back to the static costHint table; a stale or absent baseline must
+// never fail a run, it only degrades scheduling.
+func LoadCostModel(path string) map[string]float64 {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var r SuiteReport
+	if err := json.Unmarshal(data, &r); err != nil || r.Schema != ReportSchema {
+		return nil
+	}
+	model := CostModelFromReport(&r)
+	if len(model) == 0 {
+		return nil
+	}
+	return model
+}
+
 // scheduleOrder returns the indices of ids in execution order: highest
-// cost hint first, ties broken by submission order. Report ordering is
-// unaffected — results land back in their submission slots.
-func scheduleOrder(ids []string) []int {
+// expected cost first, ties broken by submission order. With a measured
+// model, experiments it does not know (typically ones added since the
+// baseline was recorded) are scheduled first — assuming a new workload
+// is expensive costs nothing, assuming it is cheap can serialize the
+// tail. Report ordering is unaffected — results land back in their
+// submission slots.
+func scheduleOrder(ids []string, model map[string]float64) []int {
+	cost := func(id string) float64 {
+		if model != nil {
+			if ms, ok := model[id]; ok {
+				return ms
+			}
+			return math.Inf(1)
+		}
+		return float64(costHint[id])
+	}
 	order := make([]int, len(ids))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return costHint[ids[order[a]]] > costHint[ids[order[b]]]
+		return cost(ids[order[a]]) > cost(ids[order[b]])
 	})
 	return order
 }
 
 // RunSuite executes the given experiments (all registered ones if ids is
 // empty) concurrently on the worker pool and returns the report plus the
-// produced figures by id. Experiments are scheduled longest-job-first
-// (per costHint) to cut many-core makespan, but the report keeps
-// submission order — sorted by id when ids was empty. Individual
-// experiment failures are recorded in the report and returned as one
-// error (lowest submission index first) after every experiment has run;
-// figures that succeeded are still returned.
+// produced figures by id. Experiments are scheduled longest-job-first —
+// from measured wall times when p.CostModel is set (see LoadCostModel),
+// from the static costHint table otherwise — to cut many-core makespan,
+// but the report keeps submission order — sorted by id when ids was
+// empty. Individual experiment failures are recorded in the report and
+// returned as one error (lowest submission index first) after every
+// experiment has run; figures that succeeded are still returned.
 //
 // Every deterministic field of the report — checksums, message counts,
 // series shapes — is byte-identical at any p.Workers setting; only the
@@ -143,6 +198,7 @@ func RunSuite(ids []string, p Params) (*SuiteReport, map[string]*Figure, error) 
 		Schema:     ReportSchema,
 		Seed:       p.Seed,
 		Workers:    parallel.Resolve(p.Workers),
+		Shards:     p.Shards,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		N100k:      p.N100k,
 		N1M:        p.N1M,
@@ -158,7 +214,7 @@ func RunSuite(ids []string, p Params) (*SuiteReport, map[string]*Figure, error) 
 	inner.Workers = max(1, parallel.Resolve(p.Workers)/outer)
 	figs := make([]*Figure, len(ids))
 	entries := make([]ExperimentReport, len(ids))
-	order := scheduleOrder(ids)
+	order := scheduleOrder(ids, p.CostModel)
 	start := time.Now()
 	var firstErr error
 	_ = parallel.ForEach(outer, len(ids), func(slot int) error {

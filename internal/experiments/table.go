@@ -56,7 +56,8 @@ func TableIRows(p Params) ([]TableIRow, uint64, error) {
 		// are expensive (N·rounds·2), so a few runs suffice: the estimator
 		// is near-deterministic at convergence.
 		{"aggregation", 0x2200, min(3, p.TableRuns), func(seed uint64, run int) core.Estimator {
-			return aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen},
+			// Workers 1: trials already fan out through RunStaticParallel.
+			return aggregation.NewEstimator(aggConfig(p, 1),
 				xrand.NewStream(seed+0x2201, uint64(run)))
 		}},
 	}

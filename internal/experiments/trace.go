@@ -36,11 +36,14 @@ func init() {
 // continuous monitoring is exactly the regime where that overhead gap
 // matters.
 func traceEstimators(p Params, stream uint64) []core.Estimator {
+	// The four instances fan out inside monitor.Run; the Aggregation
+	// epochs shard their sweeps with the leftover budget.
+	_, inner := splitWorkers(p, 4)
 	return []core.Estimator{
 		samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+stream+10)),
 		randomtour.New(randomtour.Config{Tours: 3}, xrand.New(p.Seed+stream+11)),
 		hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+12)),
-		aggregation.NewEstimator(aggregation.Config{RoundsPerEpoch: p.EpochLen}, xrand.New(p.Seed+stream+13)),
+		aggregation.NewEstimator(aggConfig(p, inner), xrand.New(p.Seed+stream+13)),
 	}
 }
 

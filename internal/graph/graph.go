@@ -32,6 +32,11 @@ type Graph struct {
 	aliveIDs []NodeID // compact list of alive nodes for O(1) sampling
 	alivePos []int32  // alivePos[id] = index into aliveIDs, -1 when dead
 	edges    int
+	// owned tracks copy-on-write adjacency state: nil means every
+	// adjacency list belongs to this graph (the normal case); non-nil
+	// means lists with owned[id] == false are shared with the base graph
+	// of a CloneCOW and must be copied before their first mutation.
+	owned []bool
 }
 
 // New returns an empty graph with capacity hint n.
@@ -60,7 +65,20 @@ func (g *Graph) AddNode() NodeID {
 	g.alive = append(g.alive, true)
 	g.alivePos = append(g.alivePos, int32(len(g.aliveIDs)))
 	g.aliveIDs = append(g.aliveIDs, id)
+	if g.owned != nil {
+		g.owned = append(g.owned, true)
+	}
 	return id
+}
+
+// own makes id's adjacency list writable: lists still shared with a
+// CloneCOW base are copied on their first mutation.
+func (g *Graph) own(id NodeID) {
+	if g.owned == nil || g.owned[id] {
+		return
+	}
+	g.adj[id] = append([]NodeID(nil), g.adj[id]...)
+	g.owned[id] = true
 }
 
 // RemoveNode kills a node: all incident edges are removed and the node
@@ -73,7 +91,14 @@ func (g *Graph) RemoveNode(id NodeID) {
 		g.removeHalfEdge(nb, id)
 		g.edges--
 	}
-	g.adj[id] = g.adj[id][:0]
+	if g.owned != nil && !g.owned[id] {
+		// Shared list: drop the reference instead of truncating in place
+		// (a later append must not scribble over the base's array).
+		g.adj[id] = nil
+		g.owned[id] = true
+	} else {
+		g.adj[id] = g.adj[id][:0]
+	}
 	g.alive[id] = false
 	// Swap-delete from the alive list.
 	pos := g.alivePos[id]
@@ -87,6 +112,7 @@ func (g *Graph) RemoveNode(id NodeID) {
 // removeHalfEdge deletes v from adj[u] (swap-delete). The caller
 // guarantees presence.
 func (g *Graph) removeHalfEdge(u, v NodeID) {
+	g.own(u)
 	a := g.adj[u]
 	for i, w := range a {
 		if w == v {
@@ -106,6 +132,8 @@ func (g *Graph) AddEdge(u, v NodeID) bool {
 	if u == v || g.HasEdge(u, v) {
 		return false
 	}
+	g.own(u)
+	g.own(v)
 	g.adj[u] = append(g.adj[u], v)
 	g.adj[v] = append(g.adj[v], u)
 	g.edges++
@@ -220,6 +248,43 @@ func (g *Graph) Clone() *Graph {
 		}
 	}
 	return ng
+}
+
+// CloneCOW returns a copy-on-write copy of g: the compact bookkeeping
+// arrays are flat-copied (three memcpys, no per-node allocation) while
+// every adjacency list is shared with g until the clone first mutates
+// it. Replaying churn on a clone therefore costs memory proportional to
+// the nodes the churn touches, not to the whole overlay — the contract
+// the parallel run loops rely on when they fan one clone per estimation
+// instance at paper scale.
+//
+// The receiver acts as the immutable base: it must not be mutated while
+// any COW clone of it is alive (clones of clones extend the freeze to
+// every ancestor). Clones are independent of each other and safe to
+// mutate concurrently from different goroutines.
+func (g *Graph) CloneCOW() *Graph {
+	ng := &Graph{
+		adj:      append([][]NodeID(nil), g.adj...),
+		alive:    append([]bool(nil), g.alive...),
+		aliveIDs: append([]NodeID(nil), g.aliveIDs...),
+		alivePos: append([]int32(nil), g.alivePos...),
+		edges:    g.edges,
+		owned:    make([]bool, len(g.adj)),
+	}
+	return ng
+}
+
+// SharedAdjacency reports how many adjacency lists are still shared
+// with the CloneCOW base (0 for graphs that are not COW clones) — the
+// delta-size diagnostic the footprint tests assert on.
+func (g *Graph) SharedAdjacency() int {
+	shared := 0
+	for _, owned := range g.owned {
+		if !owned {
+			shared++
+		}
+	}
+	return shared
 }
 
 func (g *Graph) mustAlive(id NodeID) {

@@ -225,8 +225,10 @@ func (s *smoother) add(est, t float64) {
 	}
 }
 
-// Run replays the trace on a per-instance clone of net for every
-// estimator and samples each one every cfg.Cadence time units. newRNG
+// Run replays the trace on a per-instance copy-on-write clone of net
+// (net is the shared immutable base; each clone pays only for the churn
+// it replays) for every estimator and samples each one every
+// cfg.Cadence time units. newRNG
 // must return a fresh, identically seeded generator on every call (it
 // drives the replay's join wiring), so all clones see the identical
 // membership trajectory; the overlay itself is left unmutated and
@@ -255,7 +257,7 @@ func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg 
 		counter   *metrics.Counter
 	}
 	outs, err := parallel.Map(workers, len(instances), func(k int) (instOut, error) {
-		clone := net.Clone()
+		clone := net.CloneCOW()
 		player, err := trace.NewPlayer(tr, clone)
 		if err != nil {
 			return instOut{}, err

@@ -58,6 +58,17 @@ func (n *Network) Clone() *Network {
 	return &Network{g: n.g.Clone(), counter: &metrics.Counter{}, maxDeg: n.maxDeg}
 }
 
+// CloneCOW returns a copy-on-write copy of the overlay with a fresh
+// message counter: the topology is shared with the receiver until the
+// clone mutates it (graph.CloneCOW), so fanning one clone per
+// estimation instance costs memory proportional to the churn each
+// replay applies, not instances × overlay size. The receiver becomes
+// the immutable base — it must not be mutated while clones are alive.
+// Clones are independent and may be mutated concurrently.
+func (n *Network) CloneCOW() *Network {
+	return &Network{g: n.g.CloneCOW(), counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+}
+
 // View returns a Network sharing n's topology but metering on a fresh
 // counter. Parallel static runs read one shared graph concurrently;
 // per-run views keep the overhead accounting of each run exact and

@@ -38,6 +38,84 @@ func Resolve(workers int) int {
 	return workers
 }
 
+// Shard sizing for intra-round sweeps: below MinShardNodes per shard
+// the per-node work is too cheap to amortize a goroutine, and past
+// MaxShards the ordered cross-shard fix-up passes start to dominate.
+// MaxConfigShards bounds even explicit settings: the sweeps stamp
+// ownership into uint16 tags and keep S×S deferral buckets, so an
+// unbounded shard count would overflow the tags (racing the sweep) long
+// after the buckets stopped making sense.
+const (
+	MinShardNodes   = 4096
+	MaxShards       = 16
+	MaxConfigShards = 1024
+)
+
+// Shards resolves a protocol's Shards setting for a sweep over n items:
+// 0 picks one shard per MinShardNodes (at most MaxShards), explicit
+// settings win, and the result is clamped to [1, n]. It is a pure
+// function of (cfg, n) — never of worker count — because the shard
+// count is part of the sharded algorithms' output, while workers only
+// shape scheduling.
+func Shards(cfg, n int) int {
+	s := cfg
+	if s == 0 {
+		s = n / MinShardNodes
+		if s > MaxShards {
+			s = MaxShards
+		}
+	}
+	if s > n {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// RoundRobinPairs returns the circle-method tournament schedule for n
+// players: a list of rounds, each a list of disjoint [2]int pairs
+// (a < b), covering every unordered pair exactly once across rounds.
+// The sharded round sweeps use it to apply cross-shard work in
+// parallel without races: within one tournament round no two pairs
+// share a shard, and the schedule is a pure function of n, so
+// processing order — and therefore output — is fixed at every worker
+// count. n < 2 yields no rounds.
+func RoundRobinPairs(n int) [][][2]int {
+	m := n
+	if m%2 == 1 {
+		m++ // odd player counts get a bye slot
+	}
+	if m < 2 {
+		return nil
+	}
+	players := make([]int, m)
+	for i := range players {
+		players[i] = i
+	}
+	rounds := make([][][2]int, 0, m-1)
+	for r := 0; r < m-1; r++ {
+		pairs := make([][2]int, 0, m/2)
+		for i := 0; i < m/2; i++ {
+			a, b := players[i], players[m-1-i]
+			if a >= n || b >= n {
+				continue // bye
+			}
+			if a > b {
+				a, b = b, a
+			}
+			pairs = append(pairs, [2]int{a, b})
+		}
+		rounds = append(rounds, pairs)
+		// Rotate everyone but players[0].
+		last := players[m-1]
+		copy(players[2:], players[1:m-1])
+		players[1] = last
+	}
+	return rounds
+}
+
 // Map runs fn(i) for every i in [0, n) on a pool of workers goroutines
 // and returns the results ordered by index. fn must be safe for
 // concurrent invocation across distinct indices and must derive any

@@ -121,3 +121,50 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestShardsResolution(t *testing.T) {
+	cases := []struct{ cfg, n, want int }{
+		{0, 100, 1},
+		{0, MinShardNodes * 2, 2},
+		{0, 1 << 30, MaxShards},
+		{3, 10, 3},
+		{5, 2, 2},
+		{-1, 100, 1},
+	}
+	for _, c := range cases {
+		if got := Shards(c.cfg, c.n); got != c.want {
+			t.Fatalf("Shards(%d, %d) = %d, want %d", c.cfg, c.n, got, c.want)
+		}
+	}
+}
+
+// TestRoundRobinPairs checks the tournament schedule's two contracts:
+// every unordered pair meets exactly once, and no shard appears twice
+// within one round (the property that makes cross-shard fix-up passes
+// race-free).
+func TestRoundRobinPairs(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		rounds := RoundRobinPairs(n)
+		met := make(map[[2]int]bool)
+		for _, round := range rounds {
+			inRound := make(map[int]bool)
+			for _, pr := range round {
+				a, b := pr[0], pr[1]
+				if a >= b || b >= n || a < 0 {
+					t.Fatalf("n=%d: bad pair %v", n, pr)
+				}
+				if inRound[a] || inRound[b] {
+					t.Fatalf("n=%d: shard reused within a round: %v", n, round)
+				}
+				inRound[a], inRound[b] = true, true
+				if met[pr] {
+					t.Fatalf("n=%d: pair %v scheduled twice", n, pr)
+				}
+				met[pr] = true
+			}
+		}
+		if want := n * (n - 1) / 2; len(met) != want {
+			t.Fatalf("n=%d: %d pairs scheduled, want %d", n, len(met), want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"p2psize/internal/churn"
@@ -94,6 +95,14 @@ func (t *Trace) Validate() error {
 	if t.Initial < 0 {
 		return errors.New("trace: negative Initial")
 	}
+	// NaN compares false against everything, so an explicit finiteness
+	// check is required: a "#horizon NaN" header (a seed-corpus case of
+	// FuzzReadTraceCSV) would otherwise slip through every range test
+	// below and corrupt downstream arithmetic (replay cursors,
+	// ToScenario bucket indices).
+	if math.IsNaN(t.Horizon) || math.IsInf(t.Horizon, 0) {
+		return fmt.Errorf("trace: Horizon %g is not finite", t.Horizon)
+	}
 	if t.Horizon <= 0 {
 		return errors.New("trace: Horizon must be positive")
 	}
@@ -101,6 +110,9 @@ func (t *Trace) Validate() error {
 	left := make(map[int]bool)
 	var prev Event
 	for i, ev := range t.Events {
+		if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) {
+			return fmt.Errorf("trace: event %d time %g is not finite", i, ev.T)
+		}
 		if ev.T < 0 || ev.T > t.Horizon {
 			return fmt.Errorf("trace: event %d at t=%g outside [0, %g]", i, ev.T, t.Horizon)
 		}

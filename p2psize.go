@@ -358,10 +358,19 @@ func NewHopsSampling(opts HopsSamplingOptions) Estimator {
 }
 
 // AggregationOptions configures NewAggregation. Zero values take the
-// paper's defaults (50 rounds per estimation).
+// paper's defaults (50 rounds per estimation, auto-sized sharding).
 type AggregationOptions struct {
 	// Rounds is the push-pull rounds run per estimation.
 	Rounds int
+	// Shards splits each round's node sweep into per-stream segments.
+	// The shard count is part of the estimator's output (equal options
+	// and seeds give equal estimates only at equal shard counts);
+	// 0 auto-sizes from the overlay, and out-of-range values (negative
+	// or beyond the internal cap) fall back to auto-sizing.
+	Shards int
+	// Workers caps the goroutines sweeping one round's shards (0 = all
+	// CPUs, 1 = sequential). Workers never changes the output.
+	Workers int
 	// Seed drives the estimator's randomness.
 	Seed uint64
 }
@@ -379,6 +388,12 @@ func NewAggregation(opts AggregationOptions) Estimator {
 	if opts.Rounds > 0 {
 		cfg.RoundsPerEpoch = opts.Rounds
 	}
+	// Facade contract: bad option values fall back to defaults instead
+	// of reaching the internal config's panicking validation.
+	if opts.Shards > 0 && opts.Shards <= parallel.MaxConfigShards {
+		cfg.Shards = opts.Shards
+	}
+	cfg.Workers = opts.Workers
 	return aggAdapter{aggregation.NewEstimator(cfg, xrand.New(opts.Seed))}
 }
 
