@@ -393,6 +393,10 @@ func BenchmarkTraceDiurnal(b *testing.B) { benchFigure(b, "trace-diurnal") }
 // -25% mass failure with restart-on-shock smoothing.
 func BenchmarkTraceFlashcrowd(b *testing.B) { benchFigure(b, "trace-flashcrowd") }
 
+// BenchmarkTraceIPFS monitors the checked-in IPFS-calibrated empirical
+// trace (fixed 1,000-node workload; Params scaling does not change it).
+func BenchmarkTraceIPFS(b *testing.B) { benchFigure(b, "trace-ipfs") }
+
 // BenchmarkAblationChurnRepair quantifies the paper's no-re-linking rule:
 // shrink an overlay by 50% with and without neighbor repair and report
 // the surviving largest-component fraction (the mechanism behind

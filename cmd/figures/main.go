@@ -33,22 +33,25 @@ import (
 	"p2psize/internal/experiments"
 	"p2psize/internal/parallel"
 	"p2psize/internal/plot"
+	"p2psize/internal/registry"
 	"p2psize/internal/trace"
 )
 
 func main() {
 	var (
-		outDir    = flag.String("out", "out", "output directory")
-		scale     = flag.Int("scale", 10, "divide the paper's node counts by this factor")
-		full      = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
-		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
-		shards    = flag.Int("shards", 0, "shard count for the intra-round Aggregation/CYCLON sweeps (0 = auto-size; part of the output, unlike -workers)")
-		costModel = flag.String("costmodel", "BENCH_results.json", "suite report supplying measured wall times for longest-job-first scheduling (missing file = static fallback)")
-		ascii     = flag.Bool("ascii", true, "print ASCII previews")
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		traceFile = flag.String("tracefile", "", "also run the continuous monitor on this empirical churn trace (.json or .csv), reported as experiment trace-file")
+		outDir     = flag.String("out", "out", "output directory")
+		scale      = flag.Int("scale", 10, "divide the paper's node counts by this factor")
+		full       = flag.Bool("full", false, "run at the paper's full scale (overrides -scale)")
+		only       = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
+		shards     = flag.Int("shards", 0, "shard count for the intra-round Aggregation/CYCLON sweeps (0 = auto-size; part of the output, unlike -workers)")
+		costModel  = flag.String("costmodel", "BENCH_results.json", "suite report supplying measured wall times for longest-job-first scheduling (missing file = static fallback)")
+		ascii      = flag.Bool("ascii", true, "print ASCII previews")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		traceFile  = flag.String("tracefile", "", "also run the continuous monitor on this empirical churn trace (.json or .csv, optionally .gz), reported as experiment trace-file")
+		estimators = flag.String("estimators", "", "estimator roster of the trace-* monitoring experiments: comma-separated registry names/aliases, \"all\" or \"default\" (empty = default roster); part of the output")
+		cadences   = flag.String("cadences", "", "monitor cadence spec for the trace-* experiments: base tick and/or name=value overrides, e.g. \"agg=100\" or \"5,agg=50\"; part of the output")
 	)
 	flag.Parse()
 
@@ -70,6 +73,23 @@ func main() {
 	params.Workers = *workers
 	params.Shards = *shards
 	params.CostModel = experiments.LoadCostModel(*costModel)
+	if *estimators != "" {
+		roster, err := registry.Parse(*estimators)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range roster {
+			params.Estimators = append(params.Estimators, d.Name)
+		}
+	}
+	if *cadences != "" {
+		base, per, err := registry.ParseCadenceSpec(*cadences, params.TraceCadence)
+		if err != nil {
+			fatal(err)
+		}
+		params.TraceCadence = base
+		params.Cadences = per
+	}
 
 	var ids []string
 	if *only != "" {

@@ -17,6 +17,15 @@
 //	p2psize -nodes 100000 -algo all -trace weibull -horizon 1000
 //	p2psize -nodes 50000 -algo sc -trace flashcrowd -policy window -restart-jump 0.5
 //	p2psize -algo all -trace measured.csv -cadence 5
+//
+// -estimators selects algorithms from the estimator registry by name or
+// alias ("sc,hops,agg", "all", "default") and overrides -algo; -cadence
+// accepts a per-estimator spec in monitoring mode, a base tick plus
+// name=value overrides, so cheap estimators can sample often while
+// expensive ones sample rarely in the same run:
+//
+//	p2psize -estimators sc,poll,agg -trace weibull -cadence 5,agg=50
+//	p2psize -estimators list
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"p2psize"
 	"p2psize/internal/parallel"
+	"p2psize/internal/registry"
 	"p2psize/internal/xrand"
 )
 
@@ -49,9 +59,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker pool size for the estimation runs (0 = all CPUs, 1 = sequential); output is identical at any setting")
 		shards   = flag.Int("shards", 0, "shard count for the sweep inside each Aggregation round (0 = auto-size; part of the output, unlike -workers)")
 
-		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd, or a trace file (.json/.csv)")
+		estSel = flag.String("estimators", "", "select algorithms from the estimator registry (comma-separated names/aliases, \"all\", \"default\", or \"list\" to print the catalog); overrides -algo")
+
+		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd, or a trace file (.json/.csv, optionally .gz)")
 		horizon   = flag.Float64("horizon", 1000, "trace duration in simulated time units (generated traces)")
-		cadence   = flag.Float64("cadence", 10, "simulated time between monitor samples")
+		cadence   = flag.String("cadence", "10", "monitor sampling spec: a base tick and/or per-estimator name=value overrides, e.g. \"10\", \"5,agg=50\", \"hops=1,agg=10\"")
 		policy    = flag.String("policy", "none", "monitor smoothing: none | window | ewma")
 		window    = flag.Int("window", 10, "window smoothing length")
 		alpha     = flag.Float64("alpha", 0.3, "EWMA smoothing weight")
@@ -60,6 +72,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if strings.EqualFold(strings.TrimSpace(*estSel), "list") {
+		listEstimators()
+		return
+	}
 	topo, err := parseTopology(*topology)
 	if err != nil {
 		fatal(err)
@@ -78,19 +94,24 @@ func main() {
 	} else if *traceSpec != "" {
 		aggWorkers = max(1, aggWorkers/4)
 	}
-	specs, err := buildEstimators(*algo, estOpts{
+	opts := estOpts{
 		l: *l, timer: *timer, mle: *mle, rounds: *rounds, shards: *shards,
 		aggWorkers: aggWorkers, minHops: *minHops, seed: *seed,
-	})
-	if err != nil {
-		fatal(err)
 	}
 
 	if *traceSpec != "" {
+		baseCadence, perCadence, err := registry.ParseCadenceSpec(*cadence, 10)
+		if err != nil {
+			fatal(err)
+		}
+		specs, err := selectEstimators(*estSel, *algo, opts, nil, true)
+		if err != nil {
+			fatal(err)
+		}
 		if err := runMonitor(monitorOpts{
 			traceSpec: *traceSpec, topo: topo, maxDeg: *maxDeg, nodes: *nodes,
-			horizon: *horizon, cadence: *cadence, policy: *policy,
-			window: *window, alpha: *alpha, restart: *restart,
+			horizon: *horizon, cadence: baseCadence, cadences: perCadence,
+			policy: *policy, window: *window, alpha: *alpha, restart: *restart,
 			saveTrace: *saveTrace, seed: *seed, workers: *workers,
 		}, specs); err != nil {
 			fatal(err)
@@ -107,6 +128,13 @@ func main() {
 	}
 	fmt.Printf("overlay ready: %d peers, average degree %.2f, connected=%v\n\n",
 		net.Size(), net.AvgDegree(), net.IsConnected())
+
+	// The registry path hands the overlay to the factories so snapshot-
+	// based families (id-density) can derive their state from it.
+	specs, err := selectEstimators(*estSel, *algo, opts, net, false)
+	if err != nil {
+		fatal(err)
+	}
 
 	for _, spec := range specs {
 		net.ResetMessages()
@@ -155,10 +183,78 @@ func parseTopology(s string) (p2psize.Topology, error) {
 // per run index; run i's seed is drawn from the (base+offset, i) xrand
 // stream, so runs never share a random stream regardless of worker
 // scheduling and no (seed, run) pair collides with another invocation's
-// (the additive base+offset+f(i) scheme would).
+// (the additive base+offset+f(i) scheme would). family is the canonical
+// registry name, which per-estimator cadence overrides key on.
 type estimatorSpec struct {
-	name string
-	make func(run int) p2psize.Estimator
+	name   string
+	family string
+	make   func(run int) p2psize.Estimator
+}
+
+// listEstimators prints the registry catalog (-estimators list).
+func listEstimators() {
+	fmt.Printf("%-28s %-22s %-9s %-8s %s\n", "name (aliases)", "class", "dynamic", "monitor", "summary")
+	for _, in := range p2psize.Estimators() {
+		name := in.Name
+		if len(in.Aliases) > 0 {
+			name += " (" + strings.Join(in.Aliases, ", ") + ")"
+		}
+		fmt.Printf("%-28s %-22s %-9v %-8v %s\n", name, in.Class, in.SupportsDynamic, in.SupportsMonitoring, in.Summary)
+	}
+	fmt.Printf("\ndefault roster: %s\n", strings.Join(p2psize.DefaultEstimators(), ", "))
+}
+
+// selectEstimators resolves the roster: the -estimators registry spec
+// when given (net lets snapshot-based families build their state;
+// monitoring mode rejects them instead), the legacy -algo selector
+// otherwise.
+func selectEstimators(sel, algo string, o estOpts, net *p2psize.Network, monitoring bool) ([]estimatorSpec, error) {
+	if strings.TrimSpace(sel) == "" {
+		return buildEstimators(algo, o)
+	}
+	ds, err := registry.Parse(sel)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]estimatorSpec, 0, len(ds))
+	for _, d := range ds {
+		if monitoring && !d.SupportsMonitoring {
+			return nil, fmt.Errorf("estimator %q does not support continuous monitoring (snapshot-based); drop it from -estimators", d.Name)
+		}
+		cfg := p2psize.EstimatorConfig{
+			T: o.timer, L: o.l, UseMLE: o.mle,
+			// Random Tour cost is Θ(N) per tour: average 10 in one-shot
+			// runs like -algo tour, but 3 per sample when monitoring.
+			Tours:            10,
+			MinHopsReporting: o.minHops,
+			Rounds:           o.rounds, Shards: o.shards, Workers: o.aggWorkers,
+		}
+		if monitoring {
+			cfg.Tours = 3
+		}
+		// Validate the configuration once, eagerly — a bad option or a
+		// family that needs an overlay must fail here, not mid-run. The
+		// probe instance also supplies the display name: construction can
+		// be expensive (id-density builds its ring from the whole
+		// overlay), so it must not be repeated just for a label.
+		probe, err := p2psize.NewEstimatorByName(d.Name, cfg, net)
+		if err != nil {
+			return nil, err
+		}
+		seedBase := o.seed + 1000 + d.StreamOffset
+		name := d.Name
+		mk := func(run int) p2psize.Estimator {
+			c := cfg
+			c.Seed = xrand.NewStream(seedBase, uint64(run)).Uint64()
+			e, err := p2psize.NewEstimatorByName(name, c, net)
+			if err != nil {
+				fatal(err) // unreachable: validated above
+			}
+			return e
+		}
+		specs = append(specs, estimatorSpec{name: probe.Name(), family: d.Name, make: mk})
+	}
+	return specs, nil
 }
 
 func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
@@ -167,27 +263,27 @@ func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
 	}
 	scSeed, hopsSeed, aggSeed := runSeed(100), runSeed(200), runSeed(300)
 	tourSeed, pollSeed := runSeed(400), runSeed(500)
-	sc := estimatorSpec{"", func(run int) p2psize.Estimator {
+	sc := estimatorSpec{family: "samplecollide", make: func(run int) p2psize.Estimator {
 		return p2psize.NewSampleCollide(p2psize.SampleCollideOptions{
 			T: o.timer, L: o.l, UseMLE: o.mle, Seed: scSeed(run),
 		})
 	}}
-	hops := estimatorSpec{"", func(run int) p2psize.Estimator {
+	hops := estimatorSpec{family: "hopssampling", make: func(run int) p2psize.Estimator {
 		return p2psize.NewHopsSampling(p2psize.HopsSamplingOptions{
 			MinHopsReporting: o.minHops, Seed: hopsSeed(run),
 		})
 	}}
-	agg := estimatorSpec{"", func(run int) p2psize.Estimator {
+	agg := estimatorSpec{family: "aggregation", make: func(run int) p2psize.Estimator {
 		return p2psize.NewAggregation(p2psize.AggregationOptions{
 			Rounds: o.rounds, Shards: o.shards, Workers: o.aggWorkers, Seed: aggSeed(run),
 		})
 	}}
-	tour := estimatorSpec{"", func(run int) p2psize.Estimator {
+	tour := estimatorSpec{family: "randomtour", make: func(run int) p2psize.Estimator {
 		return p2psize.NewRandomTour(p2psize.RandomTourOptions{
 			Tours: 10, Seed: tourSeed(run),
 		})
 	}}
-	poll := estimatorSpec{"", func(run int) p2psize.Estimator {
+	poll := estimatorSpec{family: "polling", make: func(run int) p2psize.Estimator {
 		return p2psize.NewPolling(p2psize.PollingOptions{
 			Seed: pollSeed(run),
 		})

@@ -1,0 +1,192 @@
+package p2psize
+
+// Public estimator-catalog surface: enumerate the registered estimator
+// families, build one by name, and register custom families that then
+// participate everywhere built-ins do (the -estimators flags, name
+// resolution, the monitoring roster). Thin wrapper over
+// internal/registry; see that package for the semantics.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"p2psize/internal/core"
+	"p2psize/internal/overlay"
+	"p2psize/internal/registry"
+	"p2psize/internal/xrand"
+)
+
+// EstimatorInfo describes one registered estimator family.
+type EstimatorInfo struct {
+	// Name is the canonical selector, e.g. "samplecollide".
+	Name string
+	// Aliases are accepted alternate spellings ("sc").
+	Aliases []string
+	// Class is the counting-class taxonomy slot.
+	Class string
+	// Summary is a one-line description.
+	Summary string
+	// CostHint ranks families by relative message cost per estimation.
+	CostHint int
+	// SupportsDynamic marks families sound on a churning overlay.
+	SupportsDynamic bool
+	// SupportsMonitoring marks families the continuous monitor may
+	// sample.
+	SupportsMonitoring bool
+}
+
+// Estimators returns every registered estimator family, built-ins and
+// custom registrations alike, in registration order.
+func Estimators() []EstimatorInfo {
+	all := registry.All()
+	out := make([]EstimatorInfo, len(all))
+	for i, d := range all {
+		out[i] = EstimatorInfo{
+			Name:               d.Name,
+			Aliases:            append([]string(nil), d.Aliases...),
+			Class:              d.Class,
+			Summary:            d.Summary,
+			CostHint:           d.CostHint,
+			SupportsDynamic:    d.SupportsDynamic,
+			SupportsMonitoring: d.SupportsMonitoring,
+		}
+	}
+	return out
+}
+
+// DefaultEstimators returns the canonical names of the paper's
+// head-to-head monitoring roster.
+func DefaultEstimators() []string { return registry.DefaultSet() }
+
+// EstimatorConfig carries the tunable knobs NewEstimatorByName honors;
+// zero values select each family's paper defaults, and fields that do
+// not concern the named family are ignored.
+type EstimatorConfig struct {
+	// T is the Sample&Collide walk timer (0 = 10).
+	T float64
+	// L is the Sample&Collide collision target (0 = 200).
+	L int
+	// UseMLE selects Sample&Collide's maximum-likelihood refinement.
+	UseMLE bool
+	// Tours is the Random Tour count per estimation (0 = 1).
+	Tours int
+	// MinHopsReporting is HopsSampling's always-reply threshold (0 = 5).
+	MinHopsReporting int
+	// Rounds is the Aggregation rounds-per-epoch (0 = 50).
+	Rounds int
+	// Shards splits each Aggregation round's sweep (0 = auto; part of
+	// the estimator's output, unlike Workers).
+	Shards int
+	// Workers caps the goroutines sweeping one Aggregation round.
+	Workers int
+	// ResponseProb is the polling reply probability (0 = 0.01).
+	ResponseProb float64
+	// IDSamples is the id-density probe count (0 = 200).
+	IDSamples int
+	// Seed drives the estimator's randomness.
+	Seed uint64
+}
+
+// NewEstimatorByName builds an estimator by registry name or alias.
+// net supplies the overlay snapshot-based families derive state from
+// (id-density builds its identifier ring from it); families that need
+// no snapshot accept a nil net.
+func NewEstimatorByName(name string, cfg EstimatorConfig, net *Network) (Estimator, error) {
+	d, ok := registry.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("p2psize: unknown estimator %q (have %v)", name, registry.Names())
+	}
+	var inner *overlay.Network
+	if net != nil {
+		inner = net.net
+	}
+	e, err := d.New(inner, xrand.New(cfg.Seed), registry.Options{
+		SCTimer:      cfg.T,
+		SCL:          cfg.L,
+		SCMLE:        cfg.UseMLE,
+		Tours:        cfg.Tours,
+		MinHops:      cfg.MinHopsReporting,
+		Rounds:       cfg.Rounds,
+		Shards:       cfg.Shards,
+		Workers:      cfg.Workers,
+		ResponseProb: cfg.ResponseProb,
+		IDSamples:    cfg.IDSamples,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("p2psize: %s: %w", d.Name, err)
+	}
+	return coreAdapter{e}, nil
+}
+
+// coreAdapter lifts an internal estimator onto the public contract.
+type coreAdapter struct{ e core.Estimator }
+
+func (a coreAdapter) Name() string { return a.e.Name() }
+func (a coreAdapter) Estimate(n *Network) (float64, error) {
+	return a.e.Estimate(n.net)
+}
+
+// CustomEstimator registers a user-supplied estimator family.
+type CustomEstimator struct {
+	// Name is the canonical selector. Required, unique.
+	Name string
+	// Aliases are optional alternate spellings.
+	Aliases []string
+	// Summary is a one-line description for listings.
+	Summary string
+	// SupportsDynamic / SupportsMonitoring declare where the family may
+	// be scheduled; see EstimatorInfo.
+	SupportsDynamic    bool
+	SupportsMonitoring bool
+	// New builds one instance; it must derive all randomness from seed
+	// (equal seeds, equal estimators) for the harness's determinism
+	// guarantees to hold.
+	New func(seed uint64) (Estimator, error)
+}
+
+// customOffset hands out seed-stream offsets for custom families,
+// starting far above the built-ins' frozen block. Offsets follow
+// registration order, so programs wanting reproducible rosters must
+// register custom families in a fixed order (init time is ideal).
+var customOffset atomic.Uint64
+
+func init() { customOffset.Store(1 << 20) }
+
+// RegisterEstimator adds a custom estimator family to the catalog. The
+// family becomes selectable everywhere built-ins are: Estimators()
+// listings, NewEstimatorByName, the -estimators CLI flags and the
+// monitoring roster (when SupportsMonitoring is set).
+func RegisterEstimator(c CustomEstimator) error {
+	if c.New == nil {
+		return errors.New("p2psize: CustomEstimator.New must not be nil")
+	}
+	mk := c.New
+	return registry.Register(registry.Descriptor{
+		Name:               c.Name,
+		Aliases:            append([]string(nil), c.Aliases...),
+		Class:              "custom",
+		Summary:            c.Summary,
+		CostHint:           50, // unknown: schedule mid-pack
+		CadenceHint:        1,
+		SupportsDynamic:    c.SupportsDynamic,
+		SupportsMonitoring: c.SupportsMonitoring,
+		StreamOffset:       customOffset.Add(1),
+		New: func(_ *overlay.Network, rng *xrand.Rand, _ registry.Options) (core.Estimator, error) {
+			e, err := mk(rng.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			return publicAdapter{e}, nil
+		},
+	})
+}
+
+// publicAdapter lifts a public Estimator onto the internal contract so
+// custom families run inside the internal harnesses.
+type publicAdapter struct{ e Estimator }
+
+func (a publicAdapter) Name() string { return a.e.Name() }
+func (a publicAdapter) Estimate(o *overlay.Network) (float64, error) {
+	return a.e.Estimate(&Network{net: o})
+}

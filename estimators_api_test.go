@@ -1,0 +1,189 @@
+package p2psize
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstimatorsCatalog(t *testing.T) {
+	infos := Estimators()
+	if len(infos) < 6 {
+		t.Fatalf("catalog lists %d families, want >= 6", len(infos))
+	}
+	names := map[string]bool{}
+	for _, in := range infos {
+		names[in.Name] = true
+	}
+	for _, want := range []string{"samplecollide", "randomtour", "hopssampling", "aggregation", "idspace", "polling"} {
+		if !names[want] {
+			t.Fatalf("catalog misses %q: %v", want, infos)
+		}
+	}
+	def := DefaultEstimators()
+	if len(def) != 4 || def[0] != "samplecollide" || def[3] != "aggregation" {
+		t.Fatalf("DefaultEstimators() = %v", def)
+	}
+}
+
+func TestNewEstimatorByName(t *testing.T) {
+	net, err := NewNetwork(NetworkOptions{Nodes: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sc", "hops", "agg", "tour", "poll", "idspace"} {
+		e, err := NewEstimatorByName(name, EstimatorConfig{L: 50, Seed: 7}, net)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		v, err := e.Estimate(net)
+		if err != nil {
+			t.Fatalf("%s estimate: %v", name, err)
+		}
+		if v <= 0 {
+			t.Fatalf("%s estimate = %g", name, v)
+		}
+	}
+	if _, err := NewEstimatorByName("nope", EstimatorConfig{}, net); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	// Snapshot-based families need the overlay.
+	if _, err := NewEstimatorByName("idspace", EstimatorConfig{}, nil); err == nil {
+		t.Fatal("idspace without an overlay accepted")
+	}
+}
+
+// truthByNameEstimator is the custom family registered below.
+type truthByNameEstimator struct{}
+
+func (truthByNameEstimator) Name() string { return "truth-custom" }
+func (truthByNameEstimator) Estimate(n *Network) (float64, error) {
+	return float64(n.Size()), nil
+}
+
+func TestRegisterEstimatorEndToEnd(t *testing.T) {
+	err := RegisterEstimator(CustomEstimator{
+		Name:               "truthcustom",
+		Aliases:            []string{"tc"},
+		Summary:            "exact size oracle for tests",
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		New:                func(seed uint64) (Estimator, error) { return truthByNameEstimator{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Listed.
+	found := false
+	for _, in := range Estimators() {
+		if in.Name == "truthcustom" {
+			found = in.SupportsMonitoring && in.Class == "custom"
+		}
+	}
+	if !found {
+		t.Fatal("custom family missing (or mis-flagged) in the catalog")
+	}
+	// Buildable by alias.
+	net, err := NewNetwork(NetworkOptions{Nodes: 500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimatorByName("tc", EstimatorConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := e.Estimate(net); err != nil || v != 500 {
+		t.Fatalf("custom estimate = %g, %v", v, err)
+	}
+	// Duplicate registration fails.
+	if err := RegisterEstimator(CustomEstimator{Name: "truthcustom",
+		New: func(seed uint64) (Estimator, error) { return truthByNameEstimator{}, nil }}); err == nil {
+		t.Fatal("duplicate custom registration accepted")
+	}
+	if err := RegisterEstimator(CustomEstimator{Name: "nofactory"}); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+}
+
+// TestRunMonitorPerEstimatorCadences drives the public per-estimator
+// cadence plumbing: a 5x-slower second estimator makes 1/5 of the
+// estimations, spends less budget, ages more, and the run stays
+// byte-identical at every worker count.
+func TestRunMonitorPerEstimatorCadences(t *testing.T) {
+	build := func() (*Network, *Trace, []Estimator) {
+		net, err := NewNetwork(NetworkOptions{Nodes: 600, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := GenerateTrace(TraceOptions{Nodes: 600, Horizon: 200, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests := []Estimator{
+			NewHopsSampling(HopsSamplingOptions{Seed: 5}),
+			NewHopsSampling(HopsSamplingOptions{Seed: 6}),
+		}
+		return net, tr, ests
+	}
+	runAt := func(workers int) *MonitorResult {
+		net, tr, ests := build()
+		res, err := RunMonitor(net, tr, ests, MonitorOptions{
+			Cadence:    10,
+			Cadences:   []float64{0, 50},
+			ReplaySeed: 7,
+			Workers:    workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := runAt(1)
+	fast, slow := res.Tracking(0), res.Tracking(1)
+	if fast.Cadence != 10 || slow.Cadence != 50 {
+		t.Fatalf("cadences = %g, %g; want 10, 50", fast.Cadence, slow.Cadence)
+	}
+	if fast.Estimations != 20 || slow.Estimations != 4 {
+		t.Fatalf("estimations = %d, %d; want 20, 4", fast.Estimations, slow.Estimations)
+	}
+	if slow.MsgsPerTimeUnit >= fast.MsgsPerTimeUnit {
+		t.Fatalf("slow cadence did not cut the budget: %g vs %g", slow.MsgsPerTimeUnit, fast.MsgsPerTimeUnit)
+	}
+	if slow.Staleness <= fast.Staleness {
+		t.Fatalf("slow cadence did not age the data: %g vs %g", slow.Staleness, fast.Staleness)
+	}
+	par := runAt(8)
+	for k := range res.Names() {
+		a, b := res.Estimates(k), par.Estimates(k)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("instance %d diverges at tick %d across worker counts", k, i)
+			}
+		}
+	}
+	// Mismatched lengths are rejected.
+	net, tr, ests := build()
+	if _, err := RunMonitor(net, tr, ests, MonitorOptions{Cadence: 10, Cadences: []float64{1}}); err == nil ||
+		!strings.Contains(err.Error(), "Cadences") {
+		t.Fatalf("mismatched Cadences err = %v", err)
+	}
+}
+
+// TestGenerateTraceParallelWorkers pins the public parallel-generation
+// contract: any positive Workers value gives byte-identical traces.
+func TestGenerateTraceParallelWorkers(t *testing.T) {
+	opts := TraceOptions{Nodes: 5000, Horizon: 500, Sessions: WeibullSessions, Seed: 9}
+	opts.Workers = 1
+	a, err := GenerateTrace(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	b, err := GenerateTrace(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Joins() != b.Joins() || a.Leaves() != b.Leaves() || a.SizeAt(250) != b.SizeAt(250) {
+		t.Fatal("Workers changed the generated trace")
+	}
+}

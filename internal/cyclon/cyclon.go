@@ -408,18 +408,20 @@ func (p *Protocol) completeShuffle(id, q graph.NodeID, rng *xrand.Rand) {
 // merge folds received entries into view for owner: self-pointers and
 // duplicates are dropped; if the view overflows, entries that were sent
 // away (sent) are evicted first, then the oldest.
+//
+// Membership is checked by scanning the view directly: views hold at
+// most ViewSize (~8) entries, where a linear pass over the live slice
+// beats building a map — the map was one allocation per exchange, the
+// dominant allocation of a shuffle round (visible in the
+// BenchmarkCyclonRound profiles), and scanning the mutating view needs
+// no bookkeeping to stay exact.
 func (p *Protocol) merge(owner graph.NodeID, view, received, sent []entry) []entry {
-	have := make(map[graph.NodeID]bool, len(view))
-	for _, e := range view {
-		have[e.node] = true
-	}
 	for _, e := range received {
-		if e.node == owner || have[e.node] {
+		if e.node == owner || containsNode(view, e.node) {
 			continue
 		}
 		if len(view) < p.cfg.ViewSize {
 			view = append(view, e)
-			have[e.node] = true
 			continue
 		}
 		// Overflow: replace an entry that was shipped out, else the
@@ -444,11 +446,19 @@ func (p *Protocol) merge(owner graph.NodeID, view, received, sent []entry) []ent
 				}
 			}
 		}
-		delete(have, view[victim].node)
 		view[victim] = e
-		have[e.node] = true
 	}
 	return view
+}
+
+// containsNode reports whether the view holds an entry for n.
+func containsNode(view []entry, n graph.NodeID) bool {
+	for _, e := range view {
+		if e.node == n {
+			return true
+		}
+	}
+	return false
 }
 
 // ExportGraph materializes the undirected overlay induced by the current

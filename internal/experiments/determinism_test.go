@@ -76,7 +76,7 @@ func figuresEqual(a, b *Figure) error {
 // (perf-*-shard, ext-cyclon) including their cross-shard fix-up passes.
 func TestWorkerCountInvariance(t *testing.T) {
 	ids := []string{"fig01", "fig03", "fig05", "fig09", "fig12", "fig15", "table1",
-		"trace-weibull", "trace-diurnal", "trace-flashcrowd",
+		"trace-weibull", "trace-diurnal", "trace-flashcrowd", "trace-ipfs",
 		"perf-agg-shard", "perf-cyclon-shard", "ext-cyclon"}
 	if testing.Short() {
 		ids = []string{"fig01", "fig12", "table1", "trace-flashcrowd",

@@ -7,10 +7,9 @@ import (
 	"p2psize/internal/aggregation"
 	"p2psize/internal/churn"
 	"p2psize/internal/core"
-	"p2psize/internal/hopssampling"
 	"p2psize/internal/metrics"
 	"p2psize/internal/parallel"
-	"p2psize/internal/samplecollide"
+	"p2psize/internal/registry"
 	"p2psize/internal/xrand"
 )
 
@@ -63,12 +62,11 @@ func noteTracking(fig *Figure, res *core.DynamicResult) {
 // identical to the sequential interleaving.
 func scDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(p.N100k, p, stream)
-	instances := make([]core.Estimator, 3)
-	for k := range instances {
-		instances[k] = samplecollide.New(samplecollide.Config{T: 10, L: 200},
-			xrand.New(p.Seed+stream+10+uint64(k)))
+	ins, err := instances(id, "samplecollide", 3, p, stream, registry.Options{})
+	if err != nil {
+		return nil, err
 	}
-	res, err := core.RunDynamicParallel(instances, net, core.DynamicConfig{
+	res, err := core.RunDynamicParallel(ins, net, core.DynamicConfig{
 		Scenario:      scenario,
 		EstimateEvery: 1,
 	}, func() *xrand.Rand { return xrand.New(p.Seed + stream + 1) }, p.Workers)
@@ -105,12 +103,11 @@ func fig11(p Params) (*Figure, error) {
 // with last10runs.
 func hopsDynamic(id, title string, scenario churn.Scenario, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(p.N100k, p, stream)
-	instances := make([]core.Estimator, 3)
-	for k := range instances {
-		instances[k] = hopssampling.New(hopssampling.Default(),
-			xrand.New(p.Seed+stream+10+uint64(k)))
+	ins, err := instances(id, "hopssampling", 3, p, stream, registry.Options{})
+	if err != nil {
+		return nil, err
 	}
-	res, err := core.RunDynamicParallel(instances, net, core.DynamicConfig{
+	res, err := core.RunDynamicParallel(ins, net, core.DynamicConfig{
 		Scenario:      scenario,
 		EstimateEvery: max(1, p.HopsHorizon/100),
 		SmoothLastK:   core.LastK,

@@ -15,10 +15,12 @@ import (
 	"sort"
 
 	"p2psize/internal/aggregation"
+	"p2psize/internal/core"
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
 	"p2psize/internal/parallel"
+	"p2psize/internal/registry"
 	"p2psize/internal/xrand"
 )
 
@@ -78,6 +80,19 @@ type Params struct {
 	// RunSuite schedules longest-first from it, falling back to the
 	// static costHint table when nil. Scheduling only — never output.
 	CostModel map[string]float64
+	// Estimators optionally restricts the monitored roster of the
+	// trace-* experiments to the named registry families (names or
+	// aliases; nil/empty = the registry's default head-to-head set:
+	// Sample&Collide, Random Tour, HopsSampling, Aggregation). Every
+	// family keeps its own fixed seed-stream offset, so a subset's
+	// series are byte-identical to the same series of a full run.
+	Estimators []string
+	// Cadences optionally gives trace-* estimators their own monitor
+	// sampling cadence, keyed by canonical registry name (e.g.
+	// {"aggregation": 100}); families not listed sample every
+	// TraceCadence time units. Like the shard count this is part of the
+	// output, not a scheduling knob.
+	Cadences map[string]float64
 }
 
 // Defaults returns the paper-scale parameters.
@@ -145,21 +160,21 @@ func (f *Figure) AddNote(format string, args ...any) {
 // Runner produces one Figure from Params.
 type Runner func(Params) (*Figure, error)
 
-// registry maps experiment IDs to runners; populated by init functions in
-// the per-experiment files.
-var registry = map[string]Runner{}
+// runners maps experiment IDs to their Runner; populated by init
+// functions in the per-experiment files.
+var runners = map[string]Runner{}
 
 func register(id string, r Runner) {
-	if _, dup := registry[id]; dup {
+	if _, dup := runners[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = r
+	runners[id] = r
 }
 
 // IDs returns all experiment IDs in sorted order.
 func IDs() []string {
-	out := make([]string, 0, len(registry))
-	for id := range registry {
+	out := make([]string, 0, len(runners))
+	for id := range runners {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -168,13 +183,13 @@ func IDs() []string {
 
 // Get returns the runner for id (nil, false if unknown).
 func Get(id string) (Runner, bool) {
-	r, ok := registry[id]
+	r, ok := runners[id]
 	return r, ok
 }
 
 // Run looks up and runs one experiment.
 func Run(id string, p Params) (*Figure, error) {
-	r, ok := registry[id]
+	r, ok := runners[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
@@ -186,6 +201,51 @@ func Run(id string, p Params) (*Figure, error) {
 func hetNet(n int, p Params, stream uint64) *overlay.Network {
 	rng := xrand.New(p.Seed + stream)
 	return overlay.New(graph.Heterogeneous(n, p.MaxDeg, rng), p.MaxDeg, nil)
+}
+
+// estimator resolves a registry family for an experiment body; the
+// registered experiments only reference built-in names, so a miss means
+// the catalog was tampered with and the experiment must fail loudly.
+func estimator(id, name string) (registry.Descriptor, error) {
+	d, ok := registry.Get(name)
+	if !ok {
+		return registry.Descriptor{}, fmt.Errorf("%s: estimator %q is not registered", id, name)
+	}
+	return d, nil
+}
+
+// perRun builds a run-indexed estimator factory for the static run
+// loops: run i draws from the (seed, i) stream regardless of worker
+// scheduling (see registry.Descriptor.PerRun).
+func perRun(id, name string, net *overlay.Network, seed uint64, opts registry.Options) (func(run int) core.Estimator, error) {
+	d, err := estimator(id, name)
+	if err != nil {
+		return nil, err
+	}
+	mk, err := d.PerRun(net, seed, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	return mk, nil
+}
+
+// instances builds count concurrent instances of one registry family on
+// the streams seed+stream+10+k — the layout every dynamic figure uses
+// for its three side-by-side estimation processes.
+func instances(id, name string, count int, p Params, stream uint64, opts registry.Options) ([]core.Estimator, error) {
+	d, err := estimator(id, name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Estimator, count)
+	for k := range out {
+		e, err := d.New(nil, xrand.New(p.Seed+stream+10+uint64(k)), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out[k] = e
+	}
+	return out, nil
 }
 
 // aggConfig assembles the Aggregation configuration used across the

@@ -43,7 +43,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18",
 		"perf-agg-seq", "perf-agg-shard", "perf-cyclon-seq", "perf-cyclon-shard",
 		"table1",
-		"trace-diurnal", "trace-flashcrowd", "trace-weibull",
+		"trace-diurnal", "trace-flashcrowd", "trace-ipfs", "trace-weibull",
 	}
 	got := IDs()
 	if len(got) != len(want) {

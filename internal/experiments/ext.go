@@ -10,18 +10,14 @@ import (
 	"fmt"
 	"math"
 
-	"p2psize/internal/aggregation"
 	"p2psize/internal/core"
 	"p2psize/internal/cyclon"
 	"p2psize/internal/graph"
-	"p2psize/internal/hopssampling"
 	"p2psize/internal/idspace"
 	"p2psize/internal/latency"
 	"p2psize/internal/metrics"
 	"p2psize/internal/parallel"
-	"p2psize/internal/polling"
-	"p2psize/internal/randomtour"
-	"p2psize/internal/samplecollide"
+	"p2psize/internal/registry"
 	"p2psize/internal/xrand"
 )
 
@@ -62,15 +58,19 @@ func extWalks(p Params) (*Figure, error) {
 	outs, err := parallel.Map(p.Workers, len(sizes), func(si int) (sizeOut, error) {
 		n := sizes[si]
 		net := hetNet(n, p, 0x3000+uint64(n))
-		rtRes, err := core.RunStaticParallel(func(run int) core.Estimator {
-			return randomtour.New(randomtour.Config{Tours: 10}, xrand.NewStream(p.Seed+0x3001, uint64(run)))
-		}, net, runs, core.LastK, p.Workers)
+		mkRT, err := perRun("ext-walks random tour", "randomtour", net, p.Seed+0x3001, registry.Options{Tours: 10})
+		if err != nil {
+			return sizeOut{}, err
+		}
+		rtRes, err := core.RunStaticParallel(mkRT, net, runs, core.LastK, p.Workers)
 		if err != nil {
 			return sizeOut{}, fmt.Errorf("ext-walks random tour: %w", err)
 		}
-		scRes, err := core.RunStaticParallel(func(run int) core.Estimator {
-			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x3002, uint64(run)))
-		}, net, runs, core.LastK, p.Workers)
+		mkSC, err := perRun("ext-walks sample&collide", "samplecollide", net, p.Seed+0x3002, registry.Options{})
+		if err != nil {
+			return sizeOut{}, err
+		}
+		scRes, err := core.RunStaticParallel(mkSC, net, runs, core.LastK, p.Workers)
 		if err != nil {
 			return sizeOut{}, fmt.Errorf("ext-walks sample&collide: %w", err)
 		}
@@ -106,27 +106,23 @@ func extClasses(p Params) (*Figure, error) {
 	n := p.N100k
 	runs := min(10, p.TableRuns)
 	type candidate struct {
-		name string
-		make func(run int) core.Estimator
+		name   string
+		family string
+		seed   uint64
+		opts   registry.Options
 	}
 	baseNet := hetNet(n, p, 0x3100)
+	// One identifier ring, built once on its own stream and shared by
+	// every id-density instance — real deployments amortize ring
+	// construction the same way.
 	ring := idspace.NewRing(baseNet, xrand.New(p.Seed+0x3101))
+	aggOpts := registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}
 	candidates := []candidate{
-		{"sample&collide(l=200)", func(run int) core.Estimator {
-			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x3102, uint64(run)))
-		}},
-		{"hops-sampling", func(run int) core.Estimator {
-			return hopssampling.New(hopssampling.Default(), xrand.NewStream(p.Seed+0x3103, uint64(run)))
-		}},
-		{"aggregation(50)", func(run int) core.Estimator {
-			return aggregation.NewEstimator(aggConfig(p, 1), xrand.NewStream(p.Seed+0x3104, uint64(run)))
-		}},
-		{"polling(p=0.01)", func(run int) core.Estimator {
-			return polling.New(polling.Default(), xrand.NewStream(p.Seed+0x3105, uint64(run)))
-		}},
-		{"id-density(k=200)", func(run int) core.Estimator {
-			return idspace.New(ring, 200, xrand.NewStream(p.Seed+0x3106, uint64(run)))
-		}},
+		{"sample&collide(l=200)", "samplecollide", 0x3102, registry.Options{}},
+		{"hops-sampling", "hopssampling", 0x3103, registry.Options{}},
+		{"aggregation(50)", "aggregation", 0x3104, aggOpts},
+		{"polling(p=0.01)", "polling", 0x3105, registry.Options{}},
+		{"id-density(k=200)", "idspace", 0x3106, registry.Options{Ring: ring}},
 	}
 	// Candidates share the topology (and the id ring) read-only, each on
 	// its own metering view; within a candidate the runs fan out through
@@ -147,7 +143,11 @@ func extClasses(p Params) (*Figure, error) {
 	outs, err := parallel.Map(outer, len(candidates), func(ci int) (candOut, error) {
 		c := candidates[ci]
 		view := baseNet.View()
-		res, err := core.RunStaticParallel(c.make, view, runs, core.LastK, inner)
+		mk, err := perRun("ext-classes "+c.name, c.family, view, p.Seed+c.seed, c.opts)
+		if err != nil {
+			return candOut{}, err
+		}
+		res, err := core.RunStaticParallel(mk, view, runs, core.LastK, inner)
 		if err != nil {
 			return candOut{}, fmt.Errorf("ext-classes %s: %w", c.name, err)
 		}
@@ -280,8 +280,14 @@ func extCyclon(p Params) (*Figure, error) {
 	// against the survivor count, where the basic X²/(2l) formula
 	// saturates high.
 	net := proto.ExportOverlay(n, p.MaxDeg)
-	est := samplecollide.New(samplecollide.Config{T: 10, L: 200, Kind: samplecollide.MLE},
-		xrand.New(p.Seed+0x3303))
+	scDesc, err := estimator("ext-cyclon", "samplecollide")
+	if err != nil {
+		return nil, err
+	}
+	est, err := scDesc.New(net, xrand.New(p.Seed+0x3303), registry.Options{SCMLE: true})
+	if err != nil {
+		return nil, err
+	}
 	const estRuns = 5
 	sum := 0.0
 	for i := 0; i < estRuns; i++ {

@@ -10,7 +10,7 @@ import (
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
 	"p2psize/internal/parallel"
-	"p2psize/internal/samplecollide"
+	"p2psize/internal/registry"
 	"p2psize/internal/stats"
 	"p2psize/internal/xrand"
 )
@@ -60,17 +60,21 @@ func abs(x float64) float64 {
 	return x
 }
 
-// scStatic is the shared body of Figs 1, 2 and 18. The runs are
-// independent estimations, so they fan out across the worker pool: run i
-// draws from the stream (Seed+stream+1, i) regardless of worker count.
-func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figure, error) {
+// staticQuality is the shared body of the single-family static figures:
+// repeated estimations of one registry family on a fresh heterogeneous
+// overlay. The runs are independent estimations, so they fan out across
+// the worker pool: run i draws from the stream (Seed+stream+1, i)
+// regardless of worker count. The overlay is returned so callers can
+// add family-specific notes and read the meter.
+func staticQuality(id, title, family string, opts registry.Options, n, runs int, p Params, stream uint64) (*Figure, *overlay.Network, error) {
 	net := hetNet(n, p, stream)
-	res, err := core.RunStaticParallel(func(run int) core.Estimator {
-		return samplecollide.New(samplecollide.Config{T: 10, L: l},
-			xrand.NewStream(p.Seed+stream+1, uint64(run)))
-	}, net, runs, core.LastK, p.Workers)
+	mk, err := perRun(id, family, net, p.Seed+stream+1, opts)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", id, err)
+		return nil, nil, err
+	}
+	res, err := core.RunStaticParallel(mk, net, runs, core.LastK, p.Workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", id, err)
 	}
 	fig := &Figure{
 		ID:     id,
@@ -81,6 +85,15 @@ func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figur
 	oneShot, lastK := qualitySeries(res)
 	fig.Series = []*metrics.Series{lastK, oneShot}
 	noteAccuracy(fig, res)
+	return fig, net, nil
+}
+
+// scStatic is the shared body of Figs 1, 2 and 18.
+func scStatic(id, title string, n, l, runs int, p Params, stream uint64) (*Figure, error) {
+	fig, net, err := staticQuality(id, title, "samplecollide", registry.Options{SCL: l}, n, runs, p, stream)
+	if err != nil {
+		return nil, err
+	}
 	fig.Messages = net.Counter().Total()
 	return fig, nil
 }
@@ -106,23 +119,10 @@ func fig18(p Params) (*Figure, error) {
 // hopsStatic is the shared body of Figs 3 and 4; polls fan out like the
 // Sample&Collide runs of scStatic.
 func hopsStatic(id, title string, n, runs int, p Params, stream uint64) (*Figure, error) {
-	net := hetNet(n, p, stream)
-	res, err := core.RunStaticParallel(func(run int) core.Estimator {
-		return hopssampling.New(hopssampling.Default(),
-			xrand.NewStream(p.Seed+stream+1, uint64(run)))
-	}, net, runs, core.LastK, p.Workers)
+	fig, net, err := staticQuality(id, title, "hopssampling", registry.Options{}, n, runs, p, stream)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", id, err)
+		return nil, err
 	}
-	fig := &Figure{
-		ID:     id,
-		Title:  title,
-		XLabel: "Number of estimations",
-		YLabel: "Quality %",
-	}
-	oneShot, lastK := qualitySeries(res)
-	fig.Series = []*metrics.Series{lastK, oneShot}
-	noteAccuracy(fig, res)
 	// Reached fraction explains the paper's systematic under-estimation.
 	probe := hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+2))
 	if init, ok := net.RandomPeer(xrand.New(p.Seed + stream + 3)); ok {
@@ -249,25 +249,22 @@ func fig08(p Params) (*Figure, error) {
 		YLabel: "Quality %",
 	}
 	runs := p.SCRuns
+	// The three head-to-head families from the registry. Display names
+	// and stream seeds are frozen (they predate the registry); Workers 1
+	// on Aggregation because the estimator already sits two fan-out
+	// levels deep.
 	type cand struct {
 		name     string
-		make     func(run int) core.Estimator
+		family   string
+		seed     uint64
+		opts     registry.Options
 		smoothed bool
 	}
 	candidates := []cand{
-		{"Aggregation", func(run int) core.Estimator {
-			// Workers 1: the estimator already sits two fan-out levels deep.
-			return aggregation.NewEstimator(
-				aggConfig(p, 1), xrand.NewStream(p.Seed+0x0801, uint64(run)))
-		}, false},
-		{"Sample&collide", func(run int) core.Estimator {
-			return samplecollide.New(
-				samplecollide.Config{T: 10, L: 200}, xrand.NewStream(p.Seed+0x0802, uint64(run)))
-		}, false},
-		{"HopsSampling", func(run int) core.Estimator {
-			return hopssampling.New(
-				hopssampling.Default(), xrand.NewStream(p.Seed+0x0803, uint64(run)))
-		}, true},
+		{"Aggregation", "aggregation", p.Seed + 0x0801,
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}, false},
+		{"Sample&collide", "samplecollide", p.Seed + 0x0802, registry.Options{}, false},
+		{"HopsSampling", "hopssampling", p.Seed + 0x0803, registry.Options{}, true},
 	}
 	type candOut struct {
 		series   *metrics.Series
@@ -290,7 +287,11 @@ func fig08(p Params) (*Figure, error) {
 			out.notes = append(out.notes, fmt.Sprintf(
 				"Aggregation plotted for %d estimations (flat curve, epoch cost N·%d·2)", candidateRuns, p.EpochLen))
 		}
-		res, err := core.RunStaticParallel(c.make, net, candidateRuns, core.LastK, p.Workers)
+		mk, err := perRun("fig08", c.family, net, c.seed, c.opts)
+		if err != nil {
+			return candOut{}, err
+		}
+		res, err := core.RunStaticParallel(mk, net, candidateRuns, core.LastK, p.Workers)
 		if err != nil {
 			return candOut{}, fmt.Errorf("fig08 %s: %w", c.name, err)
 		}

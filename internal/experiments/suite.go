@@ -108,6 +108,7 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 var costHint = map[string]int{
 	"fig15": 100, "fig16": 100, "fig17": 100, // AggHorizon rounds × N100k sweeps
 	"trace-weibull": 60, "trace-diurnal": 60, "trace-flashcrowd": 60,
+	"trace-ipfs":   25,                       // fixed 1,000-node empirical workload, 60 samples
 	"fig06":        40,                       // AggStaticRounds × N1M
 	"perf-agg-seq": 35, "perf-agg-shard": 35, // 1M-node round sweeps
 	"perf-cyclon-seq": 35, "perf-cyclon-shard": 35,

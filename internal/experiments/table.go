@@ -3,14 +3,11 @@ package experiments
 import (
 	"fmt"
 
-	"p2psize/internal/aggregation"
 	"p2psize/internal/core"
-	"p2psize/internal/hopssampling"
 	"p2psize/internal/parallel"
 	"p2psize/internal/plot"
-	"p2psize/internal/samplecollide"
+	"p2psize/internal/registry"
 	"p2psize/internal/stats"
-	"p2psize/internal/xrand"
 )
 
 // TableIRow is one measured column of the paper's Table I ("Example of
@@ -40,26 +37,22 @@ type TableIRow struct {
 // any worker count.
 func TableIRows(p Params) ([]TableIRow, uint64, error) {
 	type group struct {
-		label  string
-		stream uint64
-		runs   int
-		make   func(seed uint64, run int) core.Estimator
+		label   string
+		family  string
+		stream  uint64
+		runSeed uint64
+		runs    int
+		opts    registry.Options
 	}
 	groups := []group{
-		{"sample&collide", 0x2000, p.TableRuns, func(seed uint64, run int) core.Estimator {
-			return samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.NewStream(seed+0x2001, uint64(run)))
-		}},
-		{"hops-sampling", 0x2100, p.TableRuns, func(seed uint64, run int) core.Estimator {
-			return hopssampling.New(hopssampling.Default(), xrand.NewStream(seed+0x2101, uint64(run)))
-		}},
+		{"sample&collide", "samplecollide", 0x2000, 0x2001, p.TableRuns, registry.Options{}},
+		{"hops-sampling", "hopssampling", 0x2100, 0x2101, p.TableRuns, registry.Options{}},
 		// Aggregation, one epoch of EpochLen rounds per estimation. Epochs
 		// are expensive (N·rounds·2), so a few runs suffice: the estimator
-		// is near-deterministic at convergence.
-		{"aggregation", 0x2200, min(3, p.TableRuns), func(seed uint64, run int) core.Estimator {
-			// Workers 1: trials already fan out through RunStaticParallel.
-			return aggregation.NewEstimator(aggConfig(p, 1),
-				xrand.NewStream(seed+0x2201, uint64(run)))
-		}},
+		// is near-deterministic at convergence. Workers 1: trials already
+		// fan out through RunStaticParallel.
+		{"aggregation", "aggregation", 0x2200, 0x2201, min(3, p.TableRuns),
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}},
 	}
 	type groupOut struct {
 		res  *core.StaticResult
@@ -68,9 +61,11 @@ func TableIRows(p Params) ([]TableIRow, uint64, error) {
 	outs, err := parallel.Map(p.Workers, len(groups), func(i int) (groupOut, error) {
 		g := groups[i]
 		net := hetNet(p.N100k, p, g.stream)
-		res, err := core.RunStaticParallel(func(run int) core.Estimator {
-			return g.make(p.Seed, run)
-		}, net, g.runs, core.LastK, p.Workers)
+		mk, err := perRun("table1 "+g.label, g.family, net, p.Seed+g.runSeed, g.opts)
+		if err != nil {
+			return groupOut{}, err
+		}
+		res, err := core.RunStaticParallel(mk, net, g.runs, core.LastK, p.Workers)
 		if err != nil {
 			return groupOut{}, fmt.Errorf("table1 %s: %w", g.label, err)
 		}

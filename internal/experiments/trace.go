@@ -4,22 +4,22 @@ package experiments
 // stylized ramps and shocks, but its stated use case is tracking the
 // size of a live, churning network. These experiments replay realistic
 // churn traces (heavy-tailed session lengths, diurnal load, flash
-// crowds) through the monitor subsystem and compare how well all four
-// walk/gossip/epidemic candidates — Sample&Collide, Random Tour,
-// HopsSampling and Aggregation — track the true size, at what message
-// budget and staleness.
+// crowds, and the IPFS-calibrated empirical workload) through the
+// monitor subsystem and compare how well the selected estimator roster
+// (Params.Estimators; default: Sample&Collide, Random Tour,
+// HopsSampling, Aggregation) tracks the true size, at what message
+// budget and staleness — each family optionally on its own sampling
+// cadence (Params.Cadences).
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
-	"p2psize/internal/aggregation"
 	"p2psize/internal/core"
-	"p2psize/internal/hopssampling"
 	"p2psize/internal/metrics"
 	"p2psize/internal/monitor"
-	"p2psize/internal/randomtour"
-	"p2psize/internal/samplecollide"
+	"p2psize/internal/registry"
 	"p2psize/internal/trace"
 	"p2psize/internal/xrand"
 )
@@ -30,30 +30,68 @@ func init() {
 	register("trace-flashcrowd", traceFlashcrowd)
 }
 
-// traceEstimators builds the four monitored candidates on seeded
-// streams: the paper's three head-to-head algorithms plus Random Tour,
-// the random-walk baseline the study rejected on overhead grounds —
-// continuous monitoring is exactly the regime where that overhead gap
-// matters.
-func traceEstimators(p Params, stream uint64) []core.Estimator {
-	// The four instances fan out inside monitor.Run; the Aggregation
-	// epochs shard their sweeps with the leftover budget.
-	_, inner := splitWorkers(p, 4)
-	return []core.Estimator{
-		samplecollide.New(samplecollide.Config{T: 10, L: 200}, xrand.New(p.Seed+stream+10)),
-		randomtour.New(randomtour.Config{Tours: 3}, xrand.New(p.Seed+stream+11)),
-		hopssampling.New(hopssampling.Default(), xrand.New(p.Seed+stream+12)),
-		aggregation.NewEstimator(aggConfig(p, inner), xrand.New(p.Seed+stream+13)),
+// traceInstances builds the monitored roster from the registry: the
+// families named by Params.Estimators (default: the paper's three
+// head-to-head algorithms plus Random Tour, the random-walk baseline
+// the study rejected on overhead grounds — continuous monitoring is
+// exactly the regime where that overhead gap matters). Each family's
+// rng derives from its fixed StreamOffset and each carries its
+// Params.Cadences override, so both the selection and the cadence mix
+// leave every other family's series untouched.
+func traceInstances(p Params, stream uint64) ([]monitor.Instance, error) {
+	roster, err := registry.Resolve(p.Estimators)
+	if err != nil {
+		return nil, err
 	}
+	// The instances fan out inside the monitor; the Aggregation epochs
+	// shard their sweeps with the leftover budget.
+	_, inner := splitWorkers(p, len(roster))
+	opts := registry.Options{
+		Tours:   3, // Random Tour's monitoring setting: one tour is far too noisy to track with
+		Rounds:  p.EpochLen,
+		Shards:  p.Shards,
+		Workers: inner,
+	}
+	out := make([]monitor.Instance, len(roster))
+	selected := make(map[string]bool, len(roster))
+	for i, d := range roster {
+		if !d.SupportsMonitoring {
+			return nil, fmt.Errorf("estimator %q does not support continuous monitoring (snapshot-based)", d.Name)
+		}
+		selected[d.Name] = true
+		e, err := d.New(nil, xrand.New(p.Seed+stream+d.StreamOffset), opts)
+		if err != nil {
+			return nil, fmt.Errorf("estimator %q: %w", d.Name, err)
+		}
+		out[i] = monitor.Instance{Estimator: e, Cadence: p.Cadences[d.Name]}
+	}
+	// A cadence override targeting nothing would silently measure the
+	// wrong configuration; reject it instead (sorted, so the error is
+	// deterministic regardless of map order).
+	var orphans []string
+	for name := range p.Cadences {
+		if !selected[name] {
+			orphans = append(orphans, name)
+		}
+	}
+	if len(orphans) > 0 {
+		sort.Strings(orphans)
+		return nil, fmt.Errorf("cadence override names %v, not in the monitored roster", orphans)
+	}
+	return out, nil
 }
 
 // runTrace is the shared body of the trace experiments: replay tr on
-// per-estimator clones of a fresh heterogeneous overlay, sample on the
-// monitor cadence under the given policy, and report tracking series
-// plus per-estimator metrics.
+// per-estimator clones of a fresh heterogeneous overlay, sample each
+// roster member on its cadence under the given policy, and report
+// tracking series plus per-estimator metrics.
 func runTrace(id, title string, tr *trace.Trace, policy monitor.Policy, p Params, stream uint64) (*Figure, error) {
 	net := hetNet(tr.Initial, p, stream)
-	res, err := monitor.Run(traceEstimators(p, stream), net, tr, monitor.Config{
+	ins, err := traceInstances(p, stream)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	res, err := monitor.RunScheduled(ins, net, tr, monitor.Config{
 		Cadence: p.TraceCadence,
 		Policy:  policy,
 	}, func() *xrand.Rand { return xrand.New(p.Seed + stream + 1) }, p.Workers)
@@ -78,6 +116,12 @@ func runTrace(id, title string, tr *trace.Trace, policy monitor.Policy, p Params
 			fig.AddNote("%s: MAE %.0f, MAPE %.1f%%, staleness %.1f, %.0f msgs/time-unit (%d failures, %d restarts)",
 				name, res.MAE(k), mape, res.MeanStaleness(k), res.MsgsPerTime(k),
 				res.Failures[k], res.Restarts[k])
+		}
+	}
+	for k, name := range res.Names {
+		if res.Cadences[k] != p.TraceCadence {
+			fig.AddNote("%s sampled every %g time units (%d estimations; base cadence %g)",
+				name, res.Cadences[k], res.Scheduled[k], p.TraceCadence)
 		}
 	}
 	fig.AddNote("trace %q: %d initial, %d joins, %d leaves over horizon %g; policy %s, cadence %g",

@@ -1,23 +1,33 @@
 // Package monitor implements continuous size monitoring: the paper's
 // stated use case is *tracking* the size of a live, churning network,
 // but its evaluation only probes stylized scenarios. A Monitor runs any
-// set of estimators on a fixed cadence against an overlay evolving under
-// a churn trace, applies a smoothing policy to each raw estimate stream
-// (sliding window, EWMA, or either with restart-on-shock), and reports
-// the true-vs-estimated time series plus tracking metrics: MAE, MAPE,
+// set of estimators against an overlay evolving under a churn trace,
+// applies a smoothing policy to each raw estimate stream (sliding
+// window, EWMA, or either with restart-on-shock), and reports the
+// true-vs-estimated time series plus tracking metrics: MAE, MAPE,
 // staleness (how old the data behind the reported value is) and message
 // budget per simulated time unit.
 //
+// Sampling runs on a discrete event timeline: every estimator instance
+// carries its own cadence (and, optionally, its own smoothing policy),
+// and the run's time grid is the merged union of all instance
+// schedules. Cheap estimators can therefore sample every tick while
+// expensive ones (Aggregation: a full epoch per estimate) sample every
+// tenth, trading message budget against staleness inside one run —
+// between its own samples an instance holds its last smoothed value,
+// aging visibly in the staleness series.
+//
 // Instances fan out on the deterministic worker pool: each estimator
 // replays the identical trace on its own overlay clone (the same
-// contract as core.RunDynamicParallel), so results are byte-identical at
-// every worker count.
+// contract as core.RunDynamicParallel) and walks the same union grid,
+// so results are byte-identical at every worker count.
 package monitor
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"p2psize/internal/core"
 	"p2psize/internal/metrics"
@@ -104,35 +114,57 @@ func (p Policy) String() string {
 // Config drives a monitoring run.
 type Config struct {
 	// Cadence is the simulated time between consecutive estimations
-	// (> 0). Samples happen at t = Cadence, 2·Cadence, ... up to the
-	// trace horizon.
+	// (> 0) for every instance that does not carry its own. Samples
+	// happen at t = Cadence, 2·Cadence, ... up to the trace horizon.
 	Cadence float64
-	// Policy is the smoothing policy applied to every instance.
+	// Policy is the smoothing policy applied to every instance that
+	// does not carry its own.
 	Policy Policy
+}
+
+// Instance pairs an estimator with its own sampling cadence and
+// smoothing policy; the zero values inherit the run Config's.
+type Instance struct {
+	// Estimator produces the raw estimates.
+	Estimator core.Estimator
+	// Cadence is this instance's simulated time between estimations
+	// (0 = Config.Cadence). Like the shard count it is part of the
+	// output, not a scheduling knob.
+	Cadence float64
+	// Policy overrides the smoothing policy (nil = Config.Policy).
+	Policy *Policy
 }
 
 // Result holds the tracking series and metrics of one monitoring run.
 type Result struct {
 	// Names of the estimator instances.
 	Names []string
-	// Policy that produced the smoothed series.
+	// Policy is the run's base smoothing policy (Config.Policy);
+	// Policies holds the per-instance resolution.
 	Policy Policy
+	// Policies[k] is the smoothing policy instance k actually ran.
+	Policies []Policy
+	// Cadences[k] is the cadence instance k actually sampled at.
+	Cadences []float64
+	// Scheduled[k] is the number of estimations instance k made (its
+	// own schedule; Times spans the union of all schedules).
+	Scheduled []int
 	// Horizon of the replayed trace.
 	Horizon float64
-	// Times of the samples.
+	// Times is the merged union of every instance's sample schedule.
 	Times []float64
 	// TrueSizes[i] is the real overlay size at Times[i].
 	TrueSizes []float64
-	// Raw[k][i] is instance k's raw estimate at Times[i] (NaN on
-	// failure).
+	// Raw[k][i] is instance k's raw estimate at Times[i]: NaN both on
+	// failure and on grid ticks outside its own schedule.
 	Raw [][]float64
 	// Smoothed[k][i] is the value the monitor would have served at
 	// Times[i]: the policy-smoothed estimate, held over from the last
-	// success when the estimator fails.
+	// success between the instance's own samples and across failures.
 	Smoothed [][]float64
 	// Staleness[k][i] is the mean age, in simulated time, of the raw
-	// estimates behind Smoothed[k][i] (0 = fresh; grows across failures
-	// and with wider windows).
+	// estimates behind Smoothed[k][i] (0 = fresh; grows across failures,
+	// with wider windows, and between the samples of a slow cadence).
 	Staleness [][]float64
 	// Failures[k] counts instance k's failed estimations.
 	Failures []int
@@ -225,33 +257,124 @@ func (s *smoother) add(est, t float64) {
 	}
 }
 
-// Run replays the trace on a per-instance copy-on-write clone of net
-// (net is the shared immutable base; each clone pays only for the churn
-// it replays) for every estimator and samples each one every
-// cfg.Cadence time units. newRNG
-// must return a fresh, identically seeded generator on every call (it
-// drives the replay's join wiring), so all clones see the identical
-// membership trajectory; the overlay itself is left unmutated and
-// per-instance message counts are merged into its counter in instance
-// order. Output is byte-identical at every worker count.
+// Run replays the trace for every estimator on the shared Config
+// cadence and policy — the single-cadence entry point, equivalent to
+// RunScheduled with all-zero Instance overrides.
 func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg Config, newRNG func() *xrand.Rand, workers int) (*Result, error) {
+	sched := make([]Instance, len(instances))
+	for k, e := range instances {
+		sched[k] = Instance{Estimator: e}
+	}
+	return RunScheduled(sched, net, tr, cfg, newRNG, workers)
+}
+
+// maxSamples bounds one instance's schedule length. A pathologically
+// tiny (but positive and finite) cadence would otherwise overflow the
+// float→int conversion below — int(1e300) is undefined and lands on
+// minInt, turning a bad input into a makeslice panic instead of an
+// error. Any real run is orders of magnitude below this.
+const maxSamples = 1 << 30
+
+// schedule returns one instance's sample times t = c, 2c, ... up to the
+// horizon. The epsilon absorbs float division error (0.3/0.1 < 3) so an
+// exact-multiple horizon never loses its final sample.
+func schedule(cadence, horizon float64) ([]float64, error) {
+	f := horizon/cadence + 1e-9
+	if f > maxSamples {
+		return nil, fmt.Errorf("monitor: cadence %g yields %.3g samples over horizon %g (max %d)",
+			cadence, f, horizon, maxSamples)
+	}
+	out := make([]float64, int(f))
+	for i := range out {
+		out[i] = cadence * float64(i+1)
+	}
+	return out, nil
+}
+
+// unionGrid merges per-instance schedules into one ascending, exactly
+// deduplicated time grid. Equal cadences produce bit-equal times (both
+// compute cadence·i), so a shared-cadence run's grid is exactly the
+// schedule the single-cadence monitor used.
+func unionGrid(schedules [][]float64) []float64 {
+	total := 0
+	for _, s := range schedules {
+		total += len(s)
+	}
+	grid := make([]float64, 0, total)
+	for _, s := range schedules {
+		grid = append(grid, s...)
+	}
+	sort.Float64s(grid)
+	dedup := grid[:0]
+	for i, t := range grid {
+		if i == 0 || t != dedup[len(dedup)-1] {
+			dedup = append(dedup, t)
+		}
+	}
+	return dedup
+}
+
+// RunScheduled replays the trace on a per-instance copy-on-write clone
+// of net (net is the shared immutable base; each clone pays only for
+// the churn it replays) and samples every instance on its own cadence.
+// The result's time grid is the union of all instance schedules: every
+// instance records the true size, its served value and its staleness at
+// every grid tick, but estimates only at its own scheduled times — so
+// mixed cadences stay directly comparable, point for point.
+//
+// newRNG must return a fresh, identically seeded generator on every
+// call (it drives the replay's join wiring), so all clones see the
+// identical membership trajectory; replay determinism makes the
+// trajectory independent of where an instance's schedule stops along
+// the way. The overlay itself is left unmutated and per-instance
+// message counts are merged into its counter in instance order. Output
+// is byte-identical at every worker count.
+func RunScheduled(instances []Instance, net *overlay.Network, tr *trace.Trace, cfg Config, newRNG func() *xrand.Rand, workers int) (*Result, error) {
 	if len(instances) == 0 {
 		return nil, errors.New("monitor: Run needs at least one estimator")
 	}
-	if cfg.Cadence <= 0 {
-		return nil, errors.New("monitor: Config.Cadence must be positive")
+	cadences := make([]float64, len(instances))
+	policies := make([]Policy, len(instances))
+	schedules := make([][]float64, len(instances))
+	for k, in := range instances {
+		if in.Estimator == nil {
+			return nil, fmt.Errorf("monitor: instance %d has a nil estimator", k)
+		}
+		c := in.Cadence
+		if c == 0 {
+			c = cfg.Cadence
+		}
+		// NaN passes every ordered comparison and Inf makes an empty
+		// schedule with a huge division result, so require a finite
+		// positive value explicitly (the same class of check
+		// trace.Validate applies to event times).
+		if !(c > 0) || math.IsInf(c, 1) {
+			return nil, fmt.Errorf("monitor: instance %d (%s) cadence %g must be positive and finite",
+				k, in.Estimator.Name(), c)
+		}
+		cadences[k] = c
+		sched, err := schedule(c, tr.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		schedules[k] = sched
+		if len(schedules[k]) == 0 {
+			return nil, fmt.Errorf("monitor: instance %d (%s) cadence %g longer than the trace horizon %g",
+				k, in.Estimator.Name(), c, tr.Horizon)
+		}
+		if in.Policy != nil {
+			policies[k] = *in.Policy
+		} else {
+			policies[k] = cfg.Policy
+		}
 	}
-	// The epsilon absorbs float division error (0.3/0.1 < 3) so an
-	// exact-multiple horizon never loses its final sample.
-	samples := int(tr.Horizon/cfg.Cadence + 1e-9)
-	if samples < 1 {
-		return nil, errors.New("monitor: cadence longer than the trace horizon")
-	}
+	grid := unionGrid(schedules)
 	type instOut struct {
 		trueSizes []float64
 		raw       []float64
 		smoothed  []float64
 		staleness []float64
+		scheduled int
 		failures  int
 		restarts  int
 		counter   *metrics.Counter
@@ -263,19 +386,27 @@ func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg 
 			return instOut{}, err
 		}
 		rng := newRNG()
-		sm := newSmoother(cfg.Policy)
+		sm := newSmoother(policies[k])
 		o := instOut{counter: clone.Counter()}
-		for i := 1; i <= samples; i++ {
-			t := cfg.Cadence * float64(i)
+		sched := schedules[k]
+		next := 0 // cursor into this instance's own schedule
+		for _, t := range grid {
 			player.AdvanceTo(clone, t, rng)
 			o.trueSizes = append(o.trueSizes, float64(clone.Size()))
-			est, err := instances[k].Estimate(clone)
-			if err != nil {
-				o.failures++
+			due := next < len(sched) && sched[next] == t
+			if !due {
 				o.raw = append(o.raw, math.NaN())
 			} else {
-				sm.add(est, t)
-				o.raw = append(o.raw, est)
+				next++
+				o.scheduled++
+				est, err := instances[k].Estimator.Estimate(clone)
+				if err != nil {
+					o.failures++
+					o.raw = append(o.raw, math.NaN())
+				} else {
+					sm.add(est, t)
+					o.raw = append(o.raw, est)
+				}
 			}
 			served, stale := sm.current(t)
 			o.smoothed = append(o.smoothed, served)
@@ -290,16 +421,17 @@ func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg 
 	res := &Result{
 		Names:     make([]string, len(instances)),
 		Policy:    cfg.Policy.normalized(),
+		Policies:  make([]Policy, len(instances)),
+		Cadences:  cadences,
+		Scheduled: make([]int, len(instances)),
 		Horizon:   tr.Horizon,
+		Times:     grid,
 		Raw:       make([][]float64, len(instances)),
 		Smoothed:  make([][]float64, len(instances)),
 		Staleness: make([][]float64, len(instances)),
 		Failures:  make([]int, len(instances)),
 		Restarts:  make([]int, len(instances)),
 		Messages:  make([]uint64, len(instances)),
-	}
-	for i := 1; i <= samples; i++ {
-		res.Times = append(res.Times, cfg.Cadence*float64(i))
 	}
 	res.TrueSizes = outs[0].trueSizes
 	for k, o := range outs {
@@ -311,7 +443,9 @@ func Run(instances []core.Estimator, net *overlay.Network, tr *trace.Trace, cfg 
 					k, res.Times[i], o.trueSizes[i], outs[0].trueSizes[i])
 			}
 		}
-		res.Names[k] = instances[k].Name()
+		res.Names[k] = instances[k].Estimator.Name()
+		res.Policies[k] = policies[k].normalized()
+		res.Scheduled[k] = o.scheduled
 		res.Raw[k] = o.raw
 		res.Smoothed[k] = o.smoothed
 		res.Staleness[k] = o.staleness

@@ -223,3 +223,215 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Fatal("cadence past the horizon accepted")
 	}
 }
+
+// --- Per-instance cadence/policy (RunScheduled) --------------------------
+
+// TestScheduledUniformMatchesRun pins the compatibility contract: a
+// RunScheduled call whose instances all inherit the Config cadence and
+// policy is byte-identical to the single-cadence Run entry point.
+func TestScheduledUniformMatchesRun(t *testing.T) {
+	const n = 400
+	mk := func() []core.Estimator {
+		return []core.Estimator{
+			samplecollide.New(samplecollide.Config{T: 10, L: 50}, xrand.New(40)),
+			&flakyEstimator{},
+		}
+	}
+	cfg := Config{Cadence: 10, Policy: Policy{Smoothing: Window, Window: 5}}
+	legacy, err := Run(mk(), testNet(n, 41), testTrace(t, n), cfg,
+		func() *xrand.Rand { return xrand.New(42) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := mk()
+	sched, err := RunScheduled([]Instance{
+		{Estimator: ests[0], Cadence: 10},
+		{Estimator: ests[1]}, // inherits
+	}, testNet(n, 41), testTrace(t, n), cfg, func() *xrand.Rand { return xrand.New(42) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(legacy.Times) != len(sched.Times) {
+		t.Fatalf("grid sizes differ: %d vs %d", len(legacy.Times), len(sched.Times))
+	}
+	for k := range legacy.Names {
+		if legacy.Messages[k] != sched.Messages[k] || legacy.Failures[k] != sched.Failures[k] {
+			t.Fatalf("instance %d bookkeeping differs", k)
+		}
+		for i := range legacy.Times {
+			if math.Float64bits(legacy.Raw[k][i]) != math.Float64bits(sched.Raw[k][i]) ||
+				math.Float64bits(legacy.Smoothed[k][i]) != math.Float64bits(sched.Smoothed[k][i]) ||
+				math.Float64bits(legacy.Staleness[k][i]) != math.Float64bits(sched.Staleness[k][i]) {
+				t.Fatalf("instance %d diverges from the legacy path at tick %d", k, i)
+			}
+		}
+	}
+}
+
+// TestMixedCadencesSchedule checks the union grid and the off-schedule
+// hold behavior: a 2x-slower instance estimates at every other tick,
+// holds its served value in between, ages visibly, and spends half the
+// messages.
+func TestMixedCadencesSchedule(t *testing.T) {
+	const n = 400
+	net := testNet(n, 43)
+	res, err := RunScheduled([]Instance{
+		{Estimator: meteredTruth{}, Cadence: 10},
+		{Estimator: meteredTruth{}, Cadence: 20},
+	}, net, testTrace(t, n), Config{Cadence: 10}, func() *xrand.Rand { return xrand.New(44) }, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Times) != 10 {
+		t.Fatalf("union grid has %d ticks, want 10 (the fast schedule)", len(res.Times))
+	}
+	if res.Scheduled[0] != 10 || res.Scheduled[1] != 5 {
+		t.Fatalf("scheduled counts = %v, want [10 5]", res.Scheduled)
+	}
+	if res.Messages[0] != 10 || res.Messages[1] != 5 {
+		t.Fatalf("messages = %v: the slow cadence must spend half the budget", res.Messages)
+	}
+	for i := range res.Times {
+		even := (i+1)%2 == 0 // t = 20, 40, ... are the slow instance's ticks
+		if even && math.IsNaN(res.Raw[1][i]) {
+			t.Fatalf("slow instance missing its scheduled estimate at t=%g", res.Times[i])
+		}
+		if !even && !math.IsNaN(res.Raw[1][i]) {
+			t.Fatalf("slow instance estimated off-schedule at t=%g", res.Times[i])
+		}
+		if i >= 1 && !even {
+			// Between samples the served value is held from the previous
+			// scheduled tick and is one cadence stale.
+			if res.Smoothed[1][i] != res.Smoothed[1][i-1] {
+				t.Fatalf("slow instance did not hold its value at t=%g", res.Times[i])
+			}
+			if res.Staleness[1][i] != 10 {
+				t.Fatalf("held value staleness = %g at t=%g, want 10", res.Staleness[1][i], res.Times[i])
+			}
+		}
+	}
+	if fast, slow := res.MeanStaleness(0), res.MeanStaleness(1); slow <= fast {
+		t.Fatalf("staleness fast %g vs slow %g: halving the cadence must age the data", fast, slow)
+	}
+	if fast, slow := res.MsgsPerTime(0), res.MsgsPerTime(1); slow >= fast {
+		t.Fatalf("msgs/time fast %g vs slow %g: halving the cadence must cut the budget", fast, slow)
+	}
+}
+
+// TestScheduledWorkerCountInvariance is the determinism contract for
+// mixed cadences and per-instance policies at workers 1, 2 and 8.
+func TestScheduledWorkerCountInvariance(t *testing.T) {
+	const n = 400
+	ewma := Policy{Smoothing: EWMA, Alpha: 0.5}
+	mk := func() []Instance {
+		return []Instance{
+			{Estimator: samplecollide.New(samplecollide.Config{T: 10, L: 50}, xrand.New(50)), Cadence: 5},
+			{Estimator: samplecollide.New(samplecollide.Config{T: 10, L: 50}, xrand.New(51)), Cadence: 25, Policy: &ewma},
+			{Estimator: samplecollide.New(samplecollide.Config{T: 10, L: 50}, xrand.New(52))},
+		}
+	}
+	cfg := Config{Cadence: 10, Policy: Policy{Smoothing: Window, Window: 5}}
+	var ref *Result
+	for _, workers := range []int{1, 2, 8} {
+		res, err := RunScheduled(mk(), testNet(n, 53), testTrace(t, n), cfg,
+			func() *xrand.Rand { return xrand.New(54) }, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.Times) != len(ref.Times) {
+			t.Fatalf("workers=%d: grid size %d vs %d", workers, len(res.Times), len(ref.Times))
+		}
+		for k := range ref.Names {
+			if res.Messages[k] != ref.Messages[k] {
+				t.Fatalf("workers=%d: instance %d messages %d vs %d", workers, k, res.Messages[k], ref.Messages[k])
+			}
+			for i := range ref.Times {
+				if math.Float64bits(res.Raw[k][i]) != math.Float64bits(ref.Raw[k][i]) ||
+					math.Float64bits(res.Smoothed[k][i]) != math.Float64bits(ref.Smoothed[k][i]) ||
+					math.Float64bits(res.Staleness[k][i]) != math.Float64bits(ref.Staleness[k][i]) {
+					t.Fatalf("workers=%d: instance %d diverges at tick %d", workers, k, i)
+				}
+			}
+		}
+	}
+}
+
+// TestCadenceTradesBudgetForStaleness is the ROADMAP item end to end:
+// slowing one estimator's cadence must cut its message budget and grow
+// its staleness while the co-monitored fast instance is unaffected.
+func TestCadenceTradesBudgetForStaleness(t *testing.T) {
+	const n = 400
+	runAt := func(slowCadence float64) *Result {
+		res, err := RunScheduled([]Instance{
+			{Estimator: meteredTruth{}},
+			{Estimator: meteredTruth{}, Cadence: slowCadence},
+		}, testNet(n, 55), testTrace(t, n), Config{Cadence: 5},
+			func() *xrand.Rand { return xrand.New(56) }, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := runAt(5)
+	slowed := runAt(50)
+	if slowed.Messages[1] >= base.Messages[1] {
+		t.Fatalf("slowing the cadence 10x kept the budget: %d vs %d", slowed.Messages[1], base.Messages[1])
+	}
+	if slowed.MeanStaleness(1) <= base.MeanStaleness(1) {
+		t.Fatalf("slowing the cadence 10x kept staleness: %g vs %g", slowed.MeanStaleness(1), base.MeanStaleness(1))
+	}
+	if slowed.Messages[0] != base.Messages[0] {
+		t.Fatalf("fast instance budget changed with the slow instance's cadence: %d vs %d",
+			slowed.Messages[0], base.Messages[0])
+	}
+}
+
+func TestScheduledRejectsBadInstances(t *testing.T) {
+	net := testNet(100, 57)
+	tr := testTrace(t, 100)
+	rng := func() *xrand.Rand { return xrand.New(1) }
+	if _, err := RunScheduled([]Instance{{}}, net, tr, Config{Cadence: 1}, rng, 1); err == nil {
+		t.Fatal("nil estimator accepted")
+	}
+	if _, err := RunScheduled([]Instance{{Estimator: truthEstimator{}, Cadence: -1}}, net, tr,
+		Config{Cadence: 1}, rng, 1); err == nil {
+		t.Fatal("negative cadence accepted")
+	}
+	for _, c := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := RunScheduled([]Instance{{Estimator: truthEstimator{}, Cadence: c}}, net, tr,
+			Config{Cadence: 1}, rng, 1); err == nil {
+			t.Fatalf("non-finite cadence %g accepted", c)
+		}
+		if _, err := RunScheduled([]Instance{{Estimator: truthEstimator{}}}, net, tr,
+			Config{Cadence: c}, rng, 1); err == nil {
+			t.Fatalf("non-finite base cadence %g accepted", c)
+		}
+	}
+	if _, err := RunScheduled([]Instance{{Estimator: truthEstimator{}, Cadence: 1e9}}, net, tr,
+		Config{Cadence: 1}, rng, 1); err == nil {
+		t.Fatal("cadence past the horizon accepted")
+	}
+	// A run where every instance carries its own cadence needs no base.
+	if _, err := RunScheduled([]Instance{{Estimator: truthEstimator{}, Cadence: 10}}, net, tr,
+		Config{}, rng, 1); err != nil {
+		t.Fatalf("all-override run rejected: %v", err)
+	}
+}
+
+// TestTinyCadenceErrorsInsteadOfPanicking pins the overflow guard: a
+// positive-but-pathological cadence must return an error, not panic in
+// makeslice (int(1e300) lands on minInt).
+func TestTinyCadenceErrorsInsteadOfPanicking(t *testing.T) {
+	net := testNet(100, 58)
+	tr := testTrace(t, 100)
+	rng := func() *xrand.Rand { return xrand.New(1) }
+	for _, c := range []float64{1e-300, 1e-12} {
+		if _, err := Run([]core.Estimator{truthEstimator{}}, net, tr, Config{Cadence: c}, rng, 1); err == nil {
+			t.Fatalf("cadence %g accepted", c)
+		}
+	}
+}

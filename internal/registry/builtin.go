@@ -1,0 +1,167 @@
+package registry
+
+// Built-in descriptors: the six estimator families the repo implements,
+// registered in the paper's presentation order. StreamOffsets are part
+// of the output-identity contract — the trace experiments seed instance
+// rngs at seed+offset, and these values reproduce the pre-registry
+// hand-rolled rosters bit for bit — so they are frozen: new families
+// take fresh offsets, existing ones never move.
+
+import (
+	"errors"
+	"fmt"
+
+	"p2psize/internal/aggregation"
+	"p2psize/internal/core"
+	"p2psize/internal/hopssampling"
+	"p2psize/internal/idspace"
+	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
+	"p2psize/internal/polling"
+	"p2psize/internal/randomtour"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	MustRegister(Descriptor{
+		Name:    "samplecollide",
+		Aliases: []string{"sc", "sample-collide", "sample&collide"},
+		Class:   "random-walk",
+		Summary: "uniform sampling by continuous-time random walk + inverted birthday paradox (§III-A)",
+		// Θ(√(2lN)·T·d̄) messages per estimation.
+		CostHint:           30,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		InDefaultSet:       true,
+		StreamOffset:       10,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := samplecollide.Default()
+			if o.SCTimer > 0 {
+				cfg.T = o.SCTimer
+			}
+			if o.SCL > 0 {
+				cfg.L = o.SCL
+			}
+			if o.SCMLE {
+				cfg.Kind = samplecollide.MLE
+			}
+			return samplecollide.New(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "randomtour",
+		Aliases: []string{"tour", "random-tour"},
+		Class:   "random-walk",
+		Summary: "return-time random walk (§II) — the baseline Sample&Collide was chosen over",
+		// Θ(N·d̄/deg) messages per tour: the costliest family by far.
+		CostHint:           100,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		InDefaultSet:       true,
+		StreamOffset:       11,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := randomtour.Default()
+			if o.Tours > 0 {
+				cfg.Tours = o.Tours
+			}
+			return randomtour.New(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "hopssampling",
+		Aliases: []string{"hops", "hops-sampling"},
+		Class:   "probabilistic-polling",
+		Summary: "gossip a poll, count replies weighted by hop distance (§III-B)",
+		// One gossip spread plus routed replies: ~4N messages.
+		CostHint:           20,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		InDefaultSet:       true,
+		StreamOffset:       12,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := hopssampling.Default()
+			if o.MinHops > 0 {
+				cfg.MinHopsReporting = o.MinHops
+			}
+			return hopssampling.New(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "aggregation",
+		Aliases: []string{"agg"},
+		Class:   "epidemic",
+		Summary: "push-pull averaging of a one-hot value; converges to 1/N everywhere (§III-C)",
+		// N·rounds·2 messages per epoch — cheap per node, huge per
+		// estimate, which is why its suggested monitoring cadence is 10x
+		// the base tick.
+		CostHint:           200,
+		CadenceHint:        10,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		InDefaultSet:       true,
+		StreamOffset:       13,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			if o.Shards < 0 || o.Shards > parallel.MaxConfigShards {
+				return nil, fmt.Errorf("aggregation shards %d out of range [0, %d]", o.Shards, parallel.MaxConfigShards)
+			}
+			cfg := aggregation.Default()
+			if o.Rounds > 0 {
+				cfg.RoundsPerEpoch = o.Rounds
+			}
+			cfg.Shards = o.Shards
+			cfg.Workers = o.Workers
+			return aggregation.NewEstimator(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "idspace",
+		Aliases: []string{"id-density", "ids"},
+		Class:   "structured",
+		Summary: "identifier-density estimation on a structured ring (§II's interval-density class)",
+		// k probes against a precomputed ring: the cheapest family, but
+		// the ring is a membership snapshot, so it is unsound the moment
+		// the overlay churns — hence no dynamic/monitoring support.
+		CostHint:           5,
+		CadenceHint:        1,
+		SupportsDynamic:    false,
+		SupportsMonitoring: false,
+		StreamOffset:       14,
+		New: func(net *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			ring := o.Ring
+			if ring == nil {
+				if net == nil {
+					return nil, errors.New("idspace needs an overlay (or a pre-built Options.Ring) to derive its identifier ring")
+				}
+				ring = idspace.NewRing(net, rng)
+			}
+			k := o.IDSamples
+			if k == 0 {
+				k = 200
+			}
+			return idspace.New(ring, k, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "polling",
+		Aliases: []string{"poll"},
+		Class:   "probabilistic-polling",
+		Summary: "flood a probe, count replies sent with fixed probability (§II's plain polling)",
+		// One flood plus ~pN routed replies.
+		CostHint:           15,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		StreamOffset:       15,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := polling.Default()
+			if o.ResponseProb > 0 {
+				cfg.ResponseProb = o.ResponseProb
+			}
+			return polling.New(cfg, rng), nil
+		},
+	})
+}

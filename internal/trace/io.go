@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -158,16 +159,29 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 
 // ReadFile loads a trace from path, dispatching on the file extension:
 // ".csv" (any case) reads the CSV form, everything else the JSON form.
+// A trailing ".gz" extension (ipfs.csv.gz, measured.json.gz) is
+// decompressed transparently — empirical traces are checked in gzipped.
 func ReadFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.EqualFold(filepath.Ext(path), ".csv") {
-		return ReadCSV(f)
+	var r io.Reader = f
+	name := path
+	if strings.EqualFold(filepath.Ext(path), ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer gz.Close()
+		r = gz
+		name = strings.TrimSuffix(name, filepath.Ext(path))
 	}
-	return ReadJSON(f)
+	if strings.EqualFold(filepath.Ext(name), ".csv") {
+		return ReadCSV(r)
+	}
+	return ReadJSON(r)
 }
 
 func parseOp(s string) (Op, error) {

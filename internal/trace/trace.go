@@ -72,19 +72,13 @@ type Trace struct {
 	Events []Event
 }
 
-// Normalize sorts the events into the canonical (T, Session, Op) order.
-// Generators and compositors call it before returning; callers that
-// build Events by hand should too.
+// Normalize sorts the events into the canonical (T, Session, Op) order
+// (eventLess — the same comparator the parallel generator's merge
+// uses). Generators and compositors call it before returning; callers
+// that build Events by hand should too.
 func (t *Trace) Normalize() {
 	sort.SliceStable(t.Events, func(i, j int) bool {
-		a, b := t.Events[i], t.Events[j]
-		if a.T != b.T {
-			return a.T < b.T
-		}
-		if a.Session != b.Session {
-			return a.Session < b.Session
-		}
-		return a.Op < b.Op
+		return eventLess(t.Events[i], t.Events[j])
 	})
 }
 

@@ -10,7 +10,6 @@ import (
 	"fmt"
 	"strings"
 
-	"p2psize/internal/core"
 	"p2psize/internal/monitor"
 	"p2psize/internal/overlay"
 	"p2psize/internal/xrand"
@@ -32,8 +31,17 @@ const (
 
 // MonitorOptions configures RunMonitor.
 type MonitorOptions struct {
-	// Cadence is the simulated time between estimations. Required.
+	// Cadence is the simulated time between estimations for every
+	// estimator without its own entry in Cadences. Required unless
+	// every estimator has one.
 	Cadence float64
+	// Cadences optionally gives estimator k (matching the estimators
+	// slice) its own sampling cadence; 0 entries inherit Cadence. The
+	// result's time grid is the union of all schedules: estimators hold
+	// their last served value between their own samples, trading
+	// message budget against staleness inside one run. Like the shard
+	// count, cadences are part of the output, not a scheduling knob.
+	Cadences []float64
 	// Policy selects the smoothing (default NoSmoothing).
 	Policy SmoothingPolicy
 	// Window is the WindowSmoothing length (default 10).
@@ -56,6 +64,10 @@ type MonitorOptions struct {
 type MonitorMetrics struct {
 	// Name of the estimator instance.
 	Name string
+	// Cadence the instance actually sampled at.
+	Cadence float64
+	// Estimations is the number of samples its own schedule held.
+	Estimations int
 	// MAE is the mean absolute error |served − true| in peers.
 	MAE float64
 	// MAPE is the mean absolute percentage error |served/true − 1|·100.
@@ -99,6 +111,8 @@ func (r *MonitorResult) RawEstimates(k int) []float64 { return r.res.Raw[k] }
 func (r *MonitorResult) Tracking(k int) MonitorMetrics {
 	return MonitorMetrics{
 		Name:            r.res.Names[k],
+		Cadence:         r.res.Cadences[k],
+		Estimations:     r.res.Scheduled[k],
 		MAE:             r.res.MAE(k),
 		MAPE:            r.res.MAPE(k),
 		Staleness:       r.res.MeanStaleness(k),
@@ -111,12 +125,12 @@ func (r *MonitorResult) Tracking(k int) MonitorMetrics {
 // String renders a per-estimator tracking table.
 func (r *MonitorResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-28s %10s %8s %10s %12s %9s %9s\n",
-		"estimator", "MAE", "MAPE%", "staleness", "msgs/time", "failures", "restarts")
+	fmt.Fprintf(&b, "%-28s %8s %10s %8s %10s %12s %9s %9s\n",
+		"estimator", "cadence", "MAE", "MAPE%", "staleness", "msgs/time", "failures", "restarts")
 	for k := range r.res.Names {
 		m := r.Tracking(k)
-		fmt.Fprintf(&b, "%-28s %10.0f %8.1f %10.1f %12.0f %9d %9d\n",
-			m.Name, m.MAE, m.MAPE, m.Staleness, m.MsgsPerTimeUnit, m.Failures, m.Restarts)
+		fmt.Fprintf(&b, "%-28s %8g %10.0f %8.1f %10.1f %12.0f %9d %9d\n",
+			m.Name, m.Cadence, m.MAE, m.MAPE, m.Staleness, m.MsgsPerTimeUnit, m.Failures, m.Restarts)
 	}
 	return b.String()
 }
@@ -151,11 +165,18 @@ func RunMonitor(net *Network, tr *Trace, estimators []Estimator, opts MonitorOpt
 	default:
 		return nil, fmt.Errorf("p2psize: unknown smoothing policy %d", int(opts.Policy))
 	}
-	instances := make([]core.Estimator, len(estimators))
-	for k, e := range estimators {
-		instances[k] = monitorAdapter{e}
+	if len(opts.Cadences) != 0 && len(opts.Cadences) != len(estimators) {
+		return nil, fmt.Errorf("p2psize: MonitorOptions.Cadences has %d entries for %d estimators",
+			len(opts.Cadences), len(estimators))
 	}
-	res, err := monitor.Run(instances, net.net, tr.tr, monitor.Config{
+	instances := make([]monitor.Instance, len(estimators))
+	for k, e := range estimators {
+		instances[k] = monitor.Instance{Estimator: monitorAdapter{e}}
+		if len(opts.Cadences) != 0 {
+			instances[k].Cadence = opts.Cadences[k]
+		}
+	}
+	res, err := monitor.RunScheduled(instances, net.net, tr.tr, monitor.Config{
 		Cadence: opts.Cadence,
 		Policy: monitor.Policy{
 			Smoothing:   smoothing,

@@ -71,6 +71,14 @@ type TraceOptions struct {
 	Seed uint64
 	// Name labels the trace in reports (default: the session family).
 	Name string
+	// Workers selects the parallel generator: per-session random
+	// streams fanned across up to Workers goroutines and merged
+	// deterministically, ~3x faster on million-session traces and
+	// byte-identical at every positive setting. 0 keeps the sequential
+	// reference generator — a different (equally distributed) draw
+	// scheme, so the two settings produce different traces for the same
+	// seed; pick one and stay with it.
+	Workers int
 }
 
 // Trace is a timestamped join/leave workload, either generated or loaded
@@ -106,7 +114,7 @@ func GenerateTrace(opts TraceOptions) (*Trace, error) {
 			shape = 2
 		}
 	}
-	tr, err := trace.Generate(trace.Config{
+	cfg := trace.Config{
 		Name:             opts.Name,
 		Initial:          opts.Nodes,
 		Horizon:          opts.Horizon,
@@ -114,7 +122,13 @@ func GenerateTrace(opts TraceOptions) (*Trace, error) {
 		Session:          trace.SessionDist{Kind: kind, Mean: mean, Shape: shape},
 		DiurnalAmplitude: opts.DiurnalAmplitude,
 		DiurnalPeriod:    opts.DiurnalPeriod,
-	}, xrand.New(opts.Seed))
+	}
+	var tr *trace.Trace
+	if opts.Workers != 0 {
+		tr, err = trace.GenerateParallel(cfg, opts.Seed, opts.Workers)
+	} else {
+		tr, err = trace.Generate(cfg, xrand.New(opts.Seed))
+	}
 	if err != nil {
 		return nil, err
 	}
