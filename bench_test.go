@@ -397,6 +397,15 @@ func BenchmarkTraceFlashcrowd(b *testing.B) { benchFigure(b, "trace-flashcrowd")
 // trace (fixed 1,000-node workload; Params scaling does not change it).
 func BenchmarkTraceIPFS(b *testing.B) { benchFigure(b, "trace-ipfs") }
 
+// BenchmarkStaticNew compares the PR-5 families (push-sum,
+// capture–recapture, DHT density) against Sample&Collide on the static
+// 100k-scale overlay.
+func BenchmarkStaticNew(b *testing.B) { benchFigure(b, "static-new") }
+
+// BenchmarkTraceIPFSAll monitors the IPFS workload with every
+// monitoring-capable family at once — the widest roster in the suite.
+func BenchmarkTraceIPFSAll(b *testing.B) { benchFigure(b, "trace-ipfs-all") }
+
 // BenchmarkAblationChurnRepair quantifies the paper's no-re-linking rule:
 // shrink an overlay by 50% with and without neighbor repair and report
 // the surviving largest-component fraction (the mechanism behind

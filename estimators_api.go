@@ -84,6 +84,14 @@ type EstimatorConfig struct {
 	ResponseProb float64
 	// IDSamples is the id-density probe count (0 = 200).
 	IDSamples int
+	// Marks is the capture–recapture capture-phase draw count (0 = 300).
+	Marks int
+	// Recaptures is the capture–recapture recapture draw count (0 = 300).
+	Recaptures int
+	// DHTK is the DHT extrapolator's k-closest set size (0 = 20).
+	DHTK int
+	// DHTProbes is the DHT extrapolator's lookups per estimate (0 = 16).
+	DHTProbes int
 	// Seed drives the estimator's randomness.
 	Seed uint64
 }
@@ -112,6 +120,10 @@ func NewEstimatorByName(name string, cfg EstimatorConfig, net *Network) (Estimat
 		Workers:      cfg.Workers,
 		ResponseProb: cfg.ResponseProb,
 		IDSamples:    cfg.IDSamples,
+		Marks:        cfg.Marks,
+		Recaptures:   cfg.Recaptures,
+		DHTK:         cfg.DHTK,
+		DHTProbes:    cfg.DHTProbes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("p2psize: %s: %w", d.Name, err)

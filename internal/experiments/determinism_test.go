@@ -77,10 +77,14 @@ func figuresEqual(a, b *Figure) error {
 func TestWorkerCountInvariance(t *testing.T) {
 	ids := []string{"fig01", "fig03", "fig05", "fig09", "fig12", "fig15", "table1",
 		"trace-weibull", "trace-diurnal", "trace-flashcrowd", "trace-ipfs",
-		"perf-agg-shard", "perf-cyclon-shard", "ext-cyclon"}
+		"perf-agg-shard", "perf-cyclon-shard", "ext-cyclon",
+		// The PR-5 families: static-new covers their run-indexed static
+		// streams (including push-sum's sharded sweeps at Shards=4),
+		// trace-ipfs-all their per-instance monitoring streams.
+		"static-new", "trace-ipfs-all"}
 	if testing.Short() {
 		ids = []string{"fig01", "fig12", "table1", "trace-flashcrowd",
-			"perf-agg-shard", "perf-cyclon-shard"}
+			"perf-agg-shard", "perf-cyclon-shard", "static-new"}
 	}
 	for _, id := range ids {
 		t.Run(id, func(t *testing.T) {

@@ -1,0 +1,142 @@
+package experiments
+
+// Comparison figures for the PR-5 estimator families — push-sum
+// (epidemic), capture–recapture (random-walk sampling) and the DHT
+// k-closest density extrapolator (structured) — under the same two
+// regimes every established family is measured in:
+//
+//   - static-new: repeated estimations on the static 100k-node
+//     heterogeneous overlay, with Sample&Collide as the cross-family
+//     reference curve (the fig08 shape, on the paper's default
+//     topology).
+//   - trace-ipfs-all: the checked-in IPFS-calibrated churn workload
+//     monitored by every monitoring-capable family at once. It runs on
+//     the same seed stream as trace-ipfs, so the families shared with
+//     that experiment produce byte-identical series — the registry's
+//     fixed per-family stream offsets make the two figures directly
+//     comparable, point for point.
+//
+// Neither experiment touches the default roster or its frozen seed
+// streams: the new families carry fresh StreamOffsets and stay out of
+// the default set, so all pre-existing experiment checksums are
+// unchanged.
+
+import (
+	"fmt"
+
+	"p2psize/internal/core"
+	"p2psize/internal/metrics"
+	"p2psize/internal/monitor"
+	"p2psize/internal/parallel"
+	"p2psize/internal/registry"
+	"p2psize/internal/stats"
+)
+
+func init() {
+	register("static-new", staticNew)
+	register("trace-ipfs-all", traceIPFSAll)
+}
+
+// monitoringRoster is the trace-ipfs-all roster: every family that may
+// be scheduled by the continuous monitor, in registration order. Spelled
+// out (rather than derived from the catalog) so a custom registration
+// in the embedding process can never change the experiment's output.
+var monitoringRoster = []string{
+	"samplecollide", "randomtour", "hopssampling", "aggregation",
+	"polling", "pushsum", "capturerecapture", "dht",
+}
+
+func staticNew(p Params) (*Figure, error) {
+	fig := &Figure{
+		ID:     "static-new",
+		Title:  "New families (push-sum, capture-recapture, DHT density) vs Sample&Collide, 100,000 node network, static environment",
+		XLabel: "Number of estimations",
+		YLabel: "Quality %",
+	}
+	runs := p.SCRuns
+	type cand struct {
+		name   string
+		family string
+		seed   uint64
+		opts   registry.Options
+	}
+	// Fresh per-candidate seeds in the 0x19xx block; Workers 1 on the
+	// epidemic because it already sits two fan-out levels deep.
+	candidates := []cand{
+		{"Sample&collide", "samplecollide", p.Seed + 0x1901, registry.Options{}},
+		{"Push-sum", "pushsum", p.Seed + 0x1902,
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}},
+		{"Capture-recapture", "capturerecapture", p.Seed + 0x1903, registry.Options{}},
+		{"DHT density", "dht", p.Seed + 0x1904, registry.Options{}},
+	}
+	type candOut struct {
+		series   *metrics.Series
+		notes    []string
+		messages uint64
+	}
+	// Fresh topology per candidate (same stream), so one candidate's
+	// meter and rng use cannot perturb another; candidates run
+	// concurrently and each one's estimations fan out below them.
+	outs, err := parallel.Map(p.Workers, len(candidates), func(ci int) (candOut, error) {
+		c := candidates[ci]
+		net := hetNet(p.N100k, p, 0x1900)
+		var out candOut
+		candidateRuns := runs
+		if c.family == "pushsum" && candidateRuns > 20 {
+			// An epidemic estimate costs a full epoch (N·rounds
+			// messages); the curve is flat after convergence, so cap
+			// the points like fig08 does for Aggregation. Noted below.
+			candidateRuns = 20
+			out.notes = append(out.notes, fmt.Sprintf(
+				"Push-sum plotted for %d estimations (flat curve, epoch cost N·%d)", candidateRuns, p.EpochLen))
+		}
+		mk, err := perRun("static-new", c.family, net, c.seed, c.opts)
+		if err != nil {
+			return candOut{}, err
+		}
+		res, err := core.RunStaticParallel(mk, net, candidateRuns, core.LastK, p.Workers)
+		if err != nil {
+			return candOut{}, fmt.Errorf("static-new %s: %w", c.name, err)
+		}
+		q := res.QualityPct(false)
+		s := &metrics.Series{Name: c.name}
+		for i := range q {
+			s.Append(float64(i+1), q[i])
+		}
+		out.series = s
+		var e stats.Running
+		for _, v := range q {
+			e.Add(v - 100)
+		}
+		out.notes = append(out.notes, fmt.Sprintf(
+			"%s mean signed error %.1f%%, mean overhead %.0f msgs/estimation",
+			c.name, e.Mean(), res.MeanOverhead()))
+		out.messages = net.Counter().Total()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outs {
+		fig.Series = append(fig.Series, o.series)
+		for _, n := range o.notes {
+			fig.AddNote("%s", n)
+		}
+		fig.Messages += o.messages
+	}
+	return fig, nil
+}
+
+func traceIPFSAll(p Params) (*Figure, error) {
+	tr, err := loadIPFSTrace()
+	if err != nil {
+		return nil, err
+	}
+	// The full monitoring roster, regardless of Params.Estimators: this
+	// experiment IS the all-families comparison. The stream matches
+	// trace-ipfs, so every family shared with it keeps bit-equal series.
+	p.Estimators = append([]string(nil), monitoringRoster...)
+	return runTrace("trace-ipfs-all",
+		"Continuous monitoring under IPFS-calibrated churn: every monitoring-capable family side by side",
+		tr, monitor.Policy{Smoothing: monitor.Window, Window: core.LastK}, p, 0x4400)
+}

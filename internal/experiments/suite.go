@@ -108,9 +108,11 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 var costHint = map[string]int{
 	"fig15": 100, "fig16": 100, "fig17": 100, // AggHorizon rounds × N100k sweeps
 	"trace-weibull": 60, "trace-diurnal": 60, "trace-flashcrowd": 60,
-	"trace-ipfs":   25,                       // fixed 1,000-node empirical workload, 60 samples
-	"fig06":        40,                       // AggStaticRounds × N1M
-	"perf-agg-seq": 35, "perf-agg-shard": 35, // 1M-node round sweeps
+	"trace-ipfs":     25,                       // fixed 1,000-node empirical workload, 60 samples
+	"trace-ipfs-all": 45,                       // same workload, every monitoring-capable family
+	"static-new":     45,                       // 20 push-sum epochs at N100k dominate
+	"fig06":          40,                       // AggStaticRounds × N1M
+	"perf-agg-seq":   35, "perf-agg-shard": 35, // 1M-node round sweeps
 	"perf-cyclon-seq": 35, "perf-cyclon-shard": 35,
 	"fig02": 30, "fig04": 30, // 1M-node estimation runs
 	"ext-cyclon": 25, "ext-walks": 20, "ext-delay": 20,

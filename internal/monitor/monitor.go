@@ -178,9 +178,16 @@ type Result struct {
 // time-weighted age of the data behind it.
 type smoother struct {
 	policy Policy
-	// Window state.
+	// Window state: a fixed-size ring over the last Policy.Window
+	// estimates, allocated once on first use. vals[(head+i)%W] is the
+	// i-th oldest retained estimate. The previous implementation
+	// evicted with vals = vals[1:], which kept the dropped prefix
+	// reachable in the backing array and re-allocated by append on
+	// every eviction — a steady leak-and-churn on long monitor runs.
 	vals  []float64
 	times []float64
+	head  int
+	count int
 	// EWMA / None state.
 	value float64
 	age   float64
@@ -195,8 +202,7 @@ func newSmoother(p Policy) *smoother {
 }
 
 func (s *smoother) reset() {
-	s.vals = s.vals[:0]
-	s.times = s.times[:0]
+	s.head, s.count = 0, 0
 	s.valid = false
 }
 
@@ -205,15 +211,19 @@ func (s *smoother) reset() {
 func (s *smoother) current(t float64) (value, staleness float64) {
 	switch s.policy.Smoothing {
 	case Window:
-		if len(s.vals) == 0 {
+		if s.count == 0 {
 			return math.NaN(), t
 		}
+		// Sum oldest-first — the same order the slice-backed window
+		// used — so the float addition order (and therefore every
+		// downstream checksum) is unchanged.
 		sum, ageSum := 0.0, 0.0
-		for i, v := range s.vals {
-			sum += v
-			ageSum += t - s.times[i]
+		for i := 0; i < s.count; i++ {
+			idx := (s.head + i) % len(s.vals)
+			sum += s.vals[idx]
+			ageSum += t - s.times[idx]
 		}
-		n := float64(len(s.vals))
+		n := float64(s.count)
 		return sum / n, ageSum / n
 	default: // None, EWMA
 		if !s.valid {
@@ -237,12 +247,21 @@ func (s *smoother) add(est, t float64) {
 	}
 	switch s.policy.Smoothing {
 	case Window:
-		if len(s.vals) == s.policy.Window {
-			s.vals = s.vals[1:]
-			s.times = s.times[1:]
+		if s.vals == nil {
+			s.vals = make([]float64, s.policy.Window)
+			s.times = make([]float64, s.policy.Window)
 		}
-		s.vals = append(s.vals, est)
-		s.times = append(s.times, t)
+		if s.count == len(s.vals) {
+			// Full: overwrite the oldest slot and advance the head.
+			s.vals[s.head] = est
+			s.times[s.head] = t
+			s.head = (s.head + 1) % len(s.vals)
+		} else {
+			idx := (s.head + s.count) % len(s.vals)
+			s.vals[idx] = est
+			s.times[idx] = t
+			s.count++
+		}
 	case EWMA:
 		if !s.valid {
 			s.value, s.age = est, 0

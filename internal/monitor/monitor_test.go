@@ -435,3 +435,87 @@ func TestTinyCadenceErrorsInsteadOfPanicking(t *testing.T) {
 		}
 	}
 }
+
+// referenceWindow is the pre-ring-buffer smoother semantics, kept as a
+// plain slice for equivalence checking: append, evict from the front.
+type referenceWindow struct {
+	w     int
+	vals  []float64
+	times []float64
+}
+
+func (r *referenceWindow) add(est, t float64) {
+	if len(r.vals) == r.w {
+		r.vals = r.vals[1:]
+		r.times = r.times[1:]
+	}
+	r.vals = append(r.vals, est)
+	r.times = append(r.times, t)
+}
+
+func (r *referenceWindow) current(t float64) (float64, float64) {
+	if len(r.vals) == 0 {
+		return math.NaN(), t
+	}
+	sum, ageSum := 0.0, 0.0
+	for i, v := range r.vals {
+		sum += v
+		ageSum += t - r.times[i]
+	}
+	n := float64(len(r.vals))
+	return sum / n, ageSum / n
+}
+
+// TestWindowRingMatchesSliceSemantics drives the ring-buffer smoother
+// and the old slice-backed reference through the same long stream —
+// including mid-stream resets — and requires bit-identical served
+// values and staleness at every step. This is what licenses swapping
+// the implementation without touching any experiment checksum.
+func TestWindowRingMatchesSliceSemantics(t *testing.T) {
+	for _, w := range []int{1, 3, 10, 32} {
+		sm := newSmoother(Policy{Smoothing: Window, Window: w})
+		ref := &referenceWindow{w: w}
+		rng := xrand.New(uint64(w))
+		for i := 0; i < 5000; i++ {
+			tm := float64(i)
+			if i > 0 && i%997 == 0 {
+				sm.reset()
+				ref.vals, ref.times = nil, nil
+			}
+			est := 1000 + 500*rng.Float64()
+			sm.add(est, tm)
+			ref.add(est, tm)
+			gotV, gotS := sm.current(tm + 0.5)
+			wantV, wantS := ref.current(tm + 0.5)
+			if math.Float64bits(gotV) != math.Float64bits(wantV) ||
+				math.Float64bits(gotS) != math.Float64bits(wantS) {
+				t.Fatalf("w=%d step %d: ring (%v, %v) != slice (%v, %v)",
+					w, i, gotV, gotS, wantV, wantS)
+			}
+		}
+	}
+}
+
+// TestWindowSmootherFixedFootprint is the regression test for the
+// unbounded-append eviction: over a schedule long enough to evict tens
+// of thousands of times, the ring's backing arrays must stay exactly
+// Window long and add must not allocate at all once warm.
+func TestWindowSmootherFixedFootprint(t *testing.T) {
+	const w = 10
+	sm := newSmoother(Policy{Smoothing: Window, Window: w})
+	for i := 0; i < 100000; i++ {
+		sm.add(float64(i), float64(i))
+	}
+	if len(sm.vals) != w || cap(sm.vals) != w || len(sm.times) != w || cap(sm.times) != w {
+		t.Fatalf("backing arrays grew: len/cap vals %d/%d, times %d/%d (want %d)",
+			len(sm.vals), cap(sm.vals), len(sm.times), cap(sm.times), w)
+	}
+	i := 100000
+	allocs := testing.AllocsPerRun(1000, func() {
+		sm.add(float64(i), float64(i))
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("add allocates %.1f objects per call on a warm window", allocs)
+	}
+}

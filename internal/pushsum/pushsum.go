@@ -1,0 +1,384 @@
+// Package pushsum implements the Push-Sum size estimator (Kempe, Dobra
+// & Gehrke, FOCS'03), the second representative of the epidemic class
+// alongside Aggregation's push-pull averaging.
+//
+// Every participant holds a (sum, weight) pair. An epoch starts with
+// the initiator holding weight 1; a node reached by an epoch message
+// joins with sum 1 and weight 0, so the epoch-wide totals are
+// Σsum = #participants and Σweight = 1. Each round, every participating
+// node keeps half of its pair and pushes the other half to one
+// uniformly random neighbor (one message per node per round — half the
+// per-round price of push-pull). Both totals are conserved by
+// construction, the local ratio sum/weight converges to Σsum/Σweight at
+// every node with positive weight, and the initiator reads the size
+// estimate sum/weight after RoundsPerEpoch rounds.
+//
+// Compared to Aggregation the protocol is asymmetric (push only, no
+// reply), which halves the round cost but roughly doubles the rounds to
+// a given dispersion; under churn it shares Aggregation's epoch
+// semantics — departures remove mass, arrivals join on first contact —
+// and the same fragmentation failure mode in shrinking scenarios.
+//
+// The round sweep is sharded exactly like aggregation.RunRound: the
+// shuffled order is cut into Config.Shards contiguous segments, each
+// drawing from its own per-round xrand stream, and pushes whose target
+// lives in another shard are deferred to the fixed round-robin
+// tournament of shard pairs (parallel.RoundRobinPairs). The shard count
+// is part of the algorithm; Config.Workers only schedules the shards
+// and never changes output.
+package pushsum
+
+import (
+	"errors"
+	"fmt"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
+	"p2psize/internal/xrand"
+)
+
+// Config parameterizes the Push-Sum protocol.
+type Config struct {
+	// RoundsPerEpoch is how many push rounds each counting epoch runs
+	// before the estimate is read and the process restarts. The default
+	// matches Aggregation's 50 so the two epidemic families are
+	// compared at equal reactivity.
+	RoundsPerEpoch int
+	// Shards splits each round's shuffled sweep into this many
+	// segments, each on its own per-round xrand stream; cross-shard
+	// pushes are deferred to an ordered fix-up pass. Part of the
+	// output, unlike Workers. 0 auto-sizes (see parallel.Shards).
+	Shards int
+	// Workers caps the goroutines executing one round's shards:
+	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
+	// only changes wall time, never output.
+	Workers int
+}
+
+// Default returns the 50-round configuration.
+func Default() Config { return Config{RoundsPerEpoch: 50} }
+
+func (c *Config) validate() error {
+	if c.RoundsPerEpoch < 1 {
+		return errors.New("pushsum: RoundsPerEpoch must be >= 1")
+	}
+	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
+		return fmt.Errorf("pushsum: Shards must be in [0, %d]", parallel.MaxConfigShards)
+	}
+	return nil
+}
+
+// Protocol is a running Push-Sum instance. Several instances can share
+// an overlay; each owns its (sum, weight) vectors.
+type Protocol struct {
+	cfg Config
+	rng *xrand.Rand
+
+	sums      []float64 // per node ID
+	weights   []float64 // per node ID
+	epochOf   []uint32  // epoch tag a node participates in
+	epoch     uint32
+	initiator graph.NodeID
+	order     []int32      // scratch: shuffled alive indices
+	ownerOf   []uint16     // scratch: shard owning each node this round
+	shards    []shardState // scratch: per-shard sweep output
+}
+
+// push is one deferred cross-shard delivery: half of u's pair headed
+// for v, already debited from u during the parallel phase.
+type push struct {
+	v    graph.NodeID
+	s, w float64
+}
+
+// shardState collects what one shard produces during the parallel phase
+// of a round: its message count (merged into the meter in shard order)
+// and, per target shard, the deliveries it had to defer because the
+// drawn neighbor belongs there.
+type shardState struct {
+	msgs uint64
+	def  [][]push // indexed by the target's shard
+}
+
+// New builds a Protocol; it panics on invalid configuration.
+func New(cfg Config, rng *xrand.Rand) *Protocol {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if rng == nil {
+		panic("pushsum: nil rng")
+	}
+	return &Protocol{cfg: cfg, rng: rng, initiator: graph.None}
+}
+
+// Name identifies the estimator in reports.
+func (p *Protocol) Name() string {
+	return fmt.Sprintf("push-sum(rounds=%d)", p.cfg.RoundsPerEpoch)
+}
+
+// Config returns the protocol configuration.
+func (p *Protocol) Config() Config { return p.cfg }
+
+// ErrEmptyOverlay is returned when no live peer can initiate.
+var ErrEmptyOverlay = errors.New("pushsum: empty overlay")
+
+// Initiator returns the current epoch's initiator (graph.None before
+// the first epoch).
+func (p *Protocol) Initiator() graph.NodeID { return p.initiator }
+
+// Epoch returns the current epoch tag (0 before the first epoch).
+func (p *Protocol) Epoch() uint32 { return p.epoch }
+
+// StartEpoch begins a new counting process: the epoch tag is bumped and
+// the initiator (kept from the previous epoch when still alive,
+// otherwise re-drawn uniformly) joins with sum 1 and the epoch's entire
+// weight mass of 1.
+func (p *Protocol) StartEpoch(net *overlay.Network) error {
+	if p.initiator == graph.None || !net.Alive(p.initiator) {
+		id, ok := net.RandomPeer(p.rng)
+		if !ok {
+			return ErrEmptyOverlay
+		}
+		p.initiator = id
+	}
+	p.grow(net.Graph().NumIDs())
+	p.epoch++
+	p.sums[p.initiator] = 1
+	p.weights[p.initiator] = 1
+	p.epochOf[p.initiator] = p.epoch
+	return nil
+}
+
+func (p *Protocol) grow(numIDs int) {
+	for len(p.sums) < numIDs {
+		p.sums = append(p.sums, 0)
+		p.weights = append(p.weights, 0)
+		p.epochOf = append(p.epochOf, 0)
+	}
+}
+
+// participant reports whether id has joined the current epoch.
+func (p *Protocol) participant(id graph.NodeID) bool {
+	return int(id) < len(p.epochOf) && p.epochOf[id] == p.epoch
+}
+
+// deliver credits a pushed half-pair to v, joining it first when it is
+// new to the epoch ("a node reached by a counting message with a new
+// tag" contributes its own sum of 1).
+func (p *Protocol) deliver(v graph.NodeID, s, w float64) {
+	if !p.participant(v) {
+		p.sums[v] = 1
+		p.weights[v] = 0
+		p.epochOf[v] = p.epoch
+	}
+	p.sums[v] += s
+	p.weights[v] += w
+}
+
+// halve debits half of u's pair and returns it; the caller delivers it
+// to the drawn target.
+func (p *Protocol) halve(u graph.NodeID) (s, w float64) {
+	s = p.sums[u] / 2
+	w = p.weights[u] / 2
+	p.sums[u] = s
+	p.weights[u] = w
+	return s, w
+}
+
+// RunRound executes one synchronous push cycle: every live node, in
+// fresh random order, draws one uniformly random neighbor (the epidemic
+// substrate runs on all nodes — a round is priced at exactly one push
+// message per node); participants of the current epoch send half of
+// their pair to the drawn neighbor, which joins the epoch on first
+// contact. It panics if called before StartEpoch.
+//
+// The sweep shards like aggregation.RunRound: a shard debits and
+// delivers immediately when the drawn neighbor lies in its own segment
+// and defers the (already debited) delivery otherwise; deferred pushes
+// are applied in the fixed round-robin tournament of shard pairs, so
+// the result depends only on (seed, config, overlay), never on
+// Config.Workers or scheduling.
+func (p *Protocol) RunRound(net *overlay.Network) {
+	if p.epoch == 0 {
+		panic("pushsum: RunRound before StartEpoch")
+	}
+	g := net.Graph()
+	p.grow(g.NumIDs())
+	n := g.NumAlive()
+	if n == 0 {
+		return
+	}
+	if cap(p.order) < n {
+		p.order = make([]int32, n)
+	}
+	p.order = p.order[:n]
+	for i := range p.order {
+		p.order[i] = int32(i)
+	}
+	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
+	// All per-node draws below come from streams of this one draw, so
+	// the protocol rng advances identically at every shard count.
+	roundSeed := p.rng.Uint64()
+	shards := parallel.Shards(p.cfg.Shards, n)
+
+	if shards == 1 {
+		rng := xrand.NewStream(roundSeed, 0)
+		for _, idx := range p.order {
+			// Mutating churn never happens mid-round; alive list is stable.
+			u := g.AliveAt(int(idx))
+			v, ok := g.RandomNeighbor(u, rng)
+			if !ok {
+				continue
+			}
+			net.Send(metrics.KindPush)
+			if p.participant(u) {
+				s, w := p.halve(u)
+				p.deliver(v, s, w)
+			}
+		}
+		return
+	}
+
+	if cap(p.ownerOf) < g.NumIDs() {
+		p.ownerOf = make([]uint16, g.NumIDs())
+	}
+	p.ownerOf = p.ownerOf[:g.NumIDs()]
+	for len(p.shards) < shards {
+		p.shards = append(p.shards, shardState{})
+	}
+	// Ownership prepass, parallel: each shard stamps the nodes of its
+	// own segment (distinct entries, so no write is shared).
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			p.ownerOf[g.AliveAt(int(p.order[i]))] = uint16(s)
+		}
+		return nil
+	})
+	// Phase 1, parallel: each shard debits only nodes it owns and
+	// delivers only within its own segment; a push whose target lives
+	// elsewhere is debited now and its delivery deferred, so no pair is
+	// read or written by two shards and workers only shape scheduling.
+	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
+		rng := xrand.NewStream(roundSeed, uint64(s))
+		sh := &p.shards[s]
+		sh.msgs = 0
+		for len(sh.def) < shards {
+			sh.def = append(sh.def, nil)
+		}
+		for t := range sh.def {
+			sh.def[t] = sh.def[t][:0]
+		}
+		for i := s * n / shards; i < (s+1)*n/shards; i++ {
+			u := g.AliveAt(int(p.order[i]))
+			v, ok := g.RandomNeighbor(u, rng)
+			if !ok {
+				continue
+			}
+			sh.msgs++
+			if !p.participant(u) {
+				continue
+			}
+			ds, dw := p.halve(u)
+			if t := p.ownerOf[v]; t == uint16(s) {
+				p.deliver(v, ds, dw)
+			} else {
+				sh.def[t] = append(sh.def[t], push{v: v, s: ds, w: dw})
+			}
+		}
+		return nil
+	})
+	// Meter merge in shard order (the totals are order-independent, the
+	// fixed order keeps even intermediate states deterministic).
+	for s := 0; s < shards; s++ {
+		net.SendN(metrics.KindPush, p.shards[s].msgs)
+	}
+	// Phase 2: the cross-shard tournament. Every meeting {a, b} only
+	// delivers to nodes owned by a or b, and no tournament round
+	// repeats a shard, so the meetings of one round run concurrently
+	// while the delivery order stays fixed by the schedule.
+	for _, round := range parallel.RoundRobinPairs(shards) {
+		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
+			a, b := round[i][0], round[i][1]
+			for _, pr := range p.shards[a].def[b] {
+				p.deliver(pr.v, pr.s, pr.w)
+			}
+			for _, pr := range p.shards[b].def[a] {
+				p.deliver(pr.v, pr.s, pr.w)
+			}
+			return nil
+		})
+	}
+}
+
+// EstimateAt returns the size estimate sum/weight held at the given
+// node, and false when the node holds no usable value (not a
+// participant, dead, or zero weight — a node that joined but never
+// received weight mass cannot estimate yet).
+func (p *Protocol) EstimateAt(net *overlay.Network, id graph.NodeID) (float64, bool) {
+	if !net.Alive(id) || !p.participant(id) {
+		return 0, false
+	}
+	w := p.weights[id]
+	if w <= 0 {
+		return 0, false
+	}
+	return p.sums[id] / w, true
+}
+
+// Estimate returns the current estimate at the initiator.
+func (p *Protocol) Estimate(net *overlay.Network) (float64, bool) {
+	if p.initiator == graph.None {
+		return 0, false
+	}
+	return p.EstimateAt(net, p.initiator)
+}
+
+// MassInEpoch returns the totals held by live participants: the sum
+// mass (one per participant in a static network) and the weight mass
+// (exactly 1; under churn the deficit measures departures).
+func (p *Protocol) MassInEpoch(net *overlay.Network) (sum, weight float64) {
+	g := net.Graph()
+	for i := 0; i < g.NumAlive(); i++ {
+		id := g.AliveAt(i)
+		if p.participant(id) {
+			sum += p.sums[id]
+			weight += p.weights[id]
+		}
+	}
+	return sum, weight
+}
+
+// Estimator adapts Protocol to the one-shot core.Estimator contract:
+// each Estimate call runs a full epoch (StartEpoch + RoundsPerEpoch
+// rounds) and reads the initiator's ratio.
+type Estimator struct {
+	p *Protocol
+}
+
+// NewEstimator builds the one-shot adapter.
+func NewEstimator(cfg Config, rng *xrand.Rand) *Estimator {
+	return &Estimator{p: New(cfg, rng)}
+}
+
+// Name identifies the estimator in reports.
+func (e *Estimator) Name() string { return e.p.Name() }
+
+// Protocol exposes the underlying protocol instance.
+func (e *Estimator) Protocol() *Protocol { return e.p }
+
+// Estimate runs one full epoch and returns the initiator's estimate.
+func (e *Estimator) Estimate(net *overlay.Network) (float64, error) {
+	if err := e.p.StartEpoch(net); err != nil {
+		return 0, err
+	}
+	for r := 0; r < e.p.cfg.RoundsPerEpoch; r++ {
+		e.p.RunRound(net)
+	}
+	est, ok := e.p.Estimate(net)
+	if !ok {
+		return 0, errors.New("pushsum: initiator lost during epoch")
+	}
+	return est, nil
+}

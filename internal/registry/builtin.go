@@ -12,12 +12,15 @@ import (
 	"fmt"
 
 	"p2psize/internal/aggregation"
+	"p2psize/internal/capturerecapture"
 	"p2psize/internal/core"
+	"p2psize/internal/dhtext"
 	"p2psize/internal/hopssampling"
 	"p2psize/internal/idspace"
 	"p2psize/internal/overlay"
 	"p2psize/internal/parallel"
 	"p2psize/internal/polling"
+	"p2psize/internal/pushsum"
 	"p2psize/internal/randomtour"
 	"p2psize/internal/samplecollide"
 	"p2psize/internal/xrand"
@@ -162,6 +165,82 @@ func init() {
 				cfg.ResponseProb = o.ResponseProb
 			}
 			return polling.New(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "pushsum",
+		Aliases: []string{"push-sum", "ps"},
+		Class:   "epidemic",
+		Summary: "push half of a (sum, weight) pair to a random neighbor; sum/weight converges to N (Kempe et al., FOCS'03)",
+		// N·rounds messages per epoch — half of push-pull's round price,
+		// still an epoch per estimate, so it shares Aggregation's slow
+		// suggested monitoring cadence.
+		CostHint:           150,
+		CadenceHint:        10,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		StreamOffset:       16,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			if o.Shards < 0 || o.Shards > parallel.MaxConfigShards {
+				return nil, fmt.Errorf("pushsum shards %d out of range [0, %d]", o.Shards, parallel.MaxConfigShards)
+			}
+			cfg := pushsum.Default()
+			if o.Rounds > 0 {
+				cfg.RoundsPerEpoch = o.Rounds
+			}
+			cfg.Shards = o.Shards
+			cfg.Workers = o.Workers
+			return pushsum.NewEstimator(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "capturerecapture",
+		Aliases: []string{"capture-recapture", "cr", "lincoln-petersen"},
+		Class:   "random-walk",
+		Summary: "mark a walk-sampled set, re-sample, extrapolate from the overlap (Lincoln–Petersen, Chapman-corrected)",
+		// (Marks+Recaptures)·T·d̄ walk hops per estimation — fixed cost,
+		// accuracy degrades (instead of cost growing) with N.
+		CostHint:           25,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		StreamOffset:       17,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := capturerecapture.Default()
+			if o.Marks > 0 {
+				cfg.Marks = o.Marks
+			}
+			if o.Recaptures > 0 {
+				cfg.Recaptures = o.Recaptures
+			}
+			return capturerecapture.New(cfg, rng), nil
+		},
+	})
+	MustRegister(Descriptor{
+		Name:    "dht",
+		Aliases: []string{"dhtext", "dht-density", "kclosest"},
+		Class:   "structured",
+		Summary: "extrapolate size from nearest-neighbor ID density over Kademlia k-closest sets (the IPFS crawlers' method)",
+		// Probes·(log₂N + k) messages per estimation: cheap, and —
+		// unlike idspace's snapshot ring — sound under churn, because
+		// identifiers are hashed from stable node IDs.
+		CostHint:           10,
+		CadenceHint:        1,
+		SupportsDynamic:    true,
+		SupportsMonitoring: true,
+		StreamOffset:       18,
+		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
+			cfg := dhtext.Default()
+			if o.DHTK > 0 {
+				if o.DHTK < 2 {
+					return nil, errors.New("dht k-closest set size must be >= 2")
+				}
+				cfg.K = o.DHTK
+			}
+			if o.DHTProbes > 0 {
+				cfg.Probes = o.DHTProbes
+			}
+			return dhtext.New(cfg, rng), nil
 		},
 	})
 }

@@ -61,6 +61,14 @@ type Options struct {
 	// id-density instances; nil builds one from the overlay and rng the
 	// factory is handed.
 	Ring *idspace.Ring
+	// Marks is the capture–recapture capture-phase draw count (0 = 300).
+	Marks int
+	// Recaptures is the capture–recapture recapture draw count (0 = 300).
+	Recaptures int
+	// DHTK is the DHT extrapolator's k-closest set size (0 = 20).
+	DHTK int
+	// DHTProbes is the DHT extrapolator's lookups per estimate (0 = 16).
+	DHTProbes int
 }
 
 // Factory builds one estimator instance. net is the overlay the
@@ -258,8 +266,13 @@ func Parse(spec string) ([]Descriptor, error) {
 //	"hops=1,agg=10" -> base unchanged, two overrides
 //
 // The incoming base is returned unchanged when the spec never sets it.
+// Repeating the bare base or naming one estimator twice (under any
+// alias) is rejected: a spec like "5,agg=50,10" almost certainly pastes
+// two intents together, and silently letting the later entry win would
+// measure a configuration the caller never asked for.
 func ParseCadenceSpec(spec string, base float64) (float64, map[string]float64, error) {
 	overrides := map[string]float64{}
+	baseSet := false
 	for _, f := range strings.Split(spec, ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
@@ -276,6 +289,10 @@ func ParseCadenceSpec(spec string, base float64) (float64, map[string]float64, e
 			if !(v > 0) || math.IsInf(v, 1) {
 				return 0, nil, fmt.Errorf("registry: cadence %q must be positive and finite", f)
 			}
+			if baseSet {
+				return 0, nil, fmt.Errorf("registry: duplicate base cadence %q in spec %q (base already set to %g)", f, spec, base)
+			}
+			baseSet = true
 			base = v
 			continue
 		}
@@ -290,6 +307,9 @@ func ParseCadenceSpec(spec string, base float64) (float64, map[string]float64, e
 		}
 		if !(v > 0) || math.IsInf(v, 1) {
 			return 0, nil, fmt.Errorf("registry: cadence for %s must be positive and finite", d.Name)
+		}
+		if _, dup := overrides[d.Name]; dup {
+			return 0, nil, fmt.Errorf("registry: duplicate cadence for %s in spec %q (aliases resolve to the same family)", d.Name, spec)
 		}
 		overrides[d.Name] = v
 	}

@@ -56,6 +56,9 @@ func TestAliasesResolve(t *testing.T) {
 		"sc": "samplecollide", "SC": "samplecollide", " sample&collide ": "samplecollide",
 		"tour": "randomtour", "hops": "hopssampling", "agg": "aggregation",
 		"id-density": "idspace", "poll": "polling",
+		"ps": "pushsum", "push-sum": "pushsum",
+		"cr": "capturerecapture", "lincoln-petersen": "capturerecapture",
+		"dhtext": "dht", "kclosest": "dht",
 	} {
 		d, ok := Get(alias)
 		if !ok || d.Name != want {
@@ -90,11 +93,63 @@ func TestStreamOffsetsAreFrozen(t *testing.T) {
 	for name, want := range map[string]uint64{
 		"samplecollide": 10, "randomtour": 11, "hopssampling": 12,
 		"aggregation": 13, "idspace": 14, "polling": 15,
+		"pushsum": 16, "capturerecapture": 17, "dht": 18,
 	} {
 		d, _ := Get(name)
 		if d.StreamOffset != want {
 			t.Fatalf("%s stream offset = %d, want %d", name, d.StreamOffset, want)
 		}
+	}
+}
+
+// TestNewFamilyDescriptors pins the PR-5 families' contract: fresh
+// frozen offsets (asserted above), churn-capable capability flags, and
+// — critically — absence from the paper's default head-to-head roster,
+// which is what keeps the default-roster experiment checksums
+// byte-identical across the registry growth.
+func TestNewFamilyDescriptors(t *testing.T) {
+	for name, class := range map[string]string{
+		"pushsum": "epidemic", "capturerecapture": "random-walk", "dht": "structured",
+	} {
+		d := mustGet(t, name)
+		if d.InDefaultSet {
+			t.Fatalf("%s must not join the default roster (frozen checksums)", name)
+		}
+		if !d.SupportsDynamic || !d.SupportsMonitoring {
+			t.Fatalf("%s must support dynamic overlays and monitoring", name)
+		}
+		if d.Class != class {
+			t.Fatalf("%s class = %q, want %q", name, d.Class, class)
+		}
+	}
+	// The new knobs reach the factories.
+	net := testNet(400, 9)
+	e, err := mustGet(t, "capturerecapture").New(net, xrand.New(1), Options{Marks: 40, Recaptures: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Name(); !strings.Contains(got, "marks=40") || !strings.Contains(got, "recaptures=60") {
+		t.Fatalf("capture-recapture options ignored: %s", got)
+	}
+	e, err = mustGet(t, "dht").New(net, xrand.New(1), Options{DHTK: 8, DHTProbes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Name(); !strings.Contains(got, "k=8") || !strings.Contains(got, "probes=3") {
+		t.Fatalf("dht options ignored: %s", got)
+	}
+	if _, err := mustGet(t, "dht").New(net, xrand.New(1), Options{DHTK: 1}); err == nil {
+		t.Fatal("dht k=1 accepted; the order-statistic estimator needs k >= 2")
+	}
+	e, err = mustGet(t, "pushsum").New(net, xrand.New(1), Options{Rounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Name(); !strings.Contains(got, "rounds=7") {
+		t.Fatalf("pushsum rounds option ignored: %s", got)
+	}
+	if _, err := mustGet(t, "pushsum").New(net, xrand.New(1), Options{Shards: 1 << 20}); err == nil {
+		t.Fatal("pushsum out-of-range shards accepted")
 	}
 }
 
@@ -188,6 +243,29 @@ func TestParseCadenceSpec(t *testing.T) {
 		if _, _, err := ParseCadenceSpec(bad, 10); err == nil {
 			t.Fatalf("spec %q accepted", bad)
 		}
+	}
+}
+
+// TestParseCadenceSpecRejectsDuplicates: a later bare base or repeated
+// name= entry used to clobber the earlier one silently, measuring a
+// configuration the caller never asked for.
+func TestParseCadenceSpecRejectsDuplicates(t *testing.T) {
+	for _, bad := range []string{
+		"5,agg=50,10,agg=2",    // the issue's example: both kinds at once
+		"5,10",                 // duplicate base
+		"5, 5",                 // duplicate base, equal values too
+		"agg=50,agg=50",        // repeated override, same value
+		"agg=50,aggregation=2", // aliases resolve to the same family
+	} {
+		if _, _, err := ParseCadenceSpec(bad, 10); err == nil ||
+			!strings.Contains(err.Error(), "duplicate") {
+			t.Fatalf("spec %q: err = %v, want duplicate rejection", bad, err)
+		}
+	}
+	// A base plus distinct overrides is still fine.
+	base, per, err := ParseCadenceSpec("5,agg=50,hops=1", 10)
+	if err != nil || base != 5 || len(per) != 2 {
+		t.Fatalf("valid mixed spec rejected: base %g per %v err %v", base, per, err)
 	}
 }
 

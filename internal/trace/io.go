@@ -157,31 +157,73 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
-// ReadFile loads a trace from path, dispatching on the file extension:
-// ".csv" (any case) reads the CSV form, everything else the JSON form.
-// A trailing ".gz" extension (ipfs.csv.gz, measured.json.gz) is
-// decompressed transparently — empirical traces are checked in gzipped.
+// ReadFile loads a trace from path. Gzip compression is detected by
+// the stream's magic bytes (1f 8b), never by a ".gz" suffix — a
+// gzipped trace under any name decompresses transparently, and a
+// misnamed plain file is read as-is instead of failing with a gzip
+// header error. The CSV/JSON form is then sniffed from the first
+// non-whitespace byte ('{' opens the JSON form; '#', the column
+// header, and digits open the CSV form), with the file extension of
+// the path (a trailing ".gz" stripped) as the tiebreak for content
+// neither opener matches: ".csv" reads CSV, everything else JSON.
 func ReadFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var r io.Reader = f
-	name := path
-	if strings.EqualFold(filepath.Ext(path), ".gz") {
-		gz, err := gzip.NewReader(f)
+	br := bufio.NewReader(f)
+	// cr is the reader the form sniff and parsers consume: br itself
+	// for plain files, a fresh buffer over the gzip stream otherwise
+	// (only the decompressed bytes need new buffering).
+	cr := br
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, fmt.Errorf("trace: %s: %w", path, err)
 		}
 		defer gz.Close()
-		r = gz
-		name = strings.TrimSuffix(name, filepath.Ext(path))
+		cr = bufio.NewReader(gz)
 	}
-	if strings.EqualFold(filepath.Ext(name), ".csv") {
-		return ReadCSV(r)
+	// The tiebreak extension ignores a trailing ".gz" whether or not
+	// the content was actually compressed ("x.csv.gz" means CSV either
+	// way).
+	name := path
+	if strings.EqualFold(filepath.Ext(name), ".gz") {
+		name = strings.TrimSuffix(name, filepath.Ext(name))
 	}
-	return ReadJSON(r)
+	switch first := firstContentByte(cr); {
+	case first == '{':
+		return ReadJSON(cr)
+	case first == '#' || first == 't' || (first >= '0' && first <= '9'):
+		return ReadCSV(cr)
+	case strings.EqualFold(filepath.Ext(name), ".csv"):
+		return ReadCSV(cr)
+	default:
+		return ReadJSON(cr)
+	}
+}
+
+// firstContentByte peeks past leading whitespace and returns the first
+// content byte without consuming the reader (0 when the stream is
+// empty or unreadable — the caller's extension tiebreak then decides).
+func firstContentByte(br *bufio.Reader) byte {
+	for n := 64; ; n *= 2 {
+		buf, err := br.Peek(n)
+		for _, b := range buf {
+			switch b {
+			case ' ', '\t', '\r', '\n':
+				continue
+			default:
+				return b
+			}
+		}
+		// Peek returns what is available alongside the error, so a
+		// short (or empty) stream of pure whitespace lands here.
+		if err != nil || len(buf) < n {
+			return 0
+		}
+	}
 }
 
 func parseOp(s string) (Op, error) {

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2psize/internal/xrand"
+)
+
+// sniffTrace builds a small reference trace for the ReadFile dispatch
+// tests.
+func sniffTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := Generate(Config{
+		Name:    "sniff",
+		Initial: 50,
+		Horizon: 20,
+		Session: SessionDist{Kind: Exponential, Mean: 10},
+	}, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func writeFile(t *testing.T, dir, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gzipped(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gw := gzip.NewWriter(&buf)
+	if _, err := gw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadFileSniffsContentOverExtension is the regression test for the
+// extension-only dispatch: gzip is detected by magic bytes and the
+// CSV/JSON form by content, so misnamed files load correctly instead of
+// failing with a reader-mismatch parse error.
+func TestReadFileSniffsContentOverExtension(t *testing.T) {
+	ref := sniffTrace(t)
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := ref.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"normal.csv", csvBuf.Bytes()},
+		{"normal.json", jsonBuf.Bytes()},
+		{"suffixed.csv.gz", gzipped(t, csvBuf.Bytes())},
+		// A gzipped trace without any .gz suffix: the old dispatch fed
+		// compressed bytes straight to the JSON/CSV readers.
+		{"gzipped-but-named.csv", gzipped(t, csvBuf.Bytes())},
+		{"gzipped-but-named.json", gzipped(t, jsonBuf.Bytes())},
+		{"gzipped-no-hint.bin", gzipped(t, jsonBuf.Bytes())},
+		// A CSV renamed .txt: the old dispatch fell through to the JSON
+		// reader and failed with a confusing decode error.
+		{"renamed-csv.txt", csvBuf.Bytes()},
+		{"renamed-json.dat", jsonBuf.Bytes()},
+		// JSON with leading whitespace still sniffs as JSON.
+		{"padded.trace", append([]byte("  \n\t"), jsonBuf.Bytes()...)},
+		// Misnamed the other way: plain CSV under a .gz suffix reads as
+		// CSV (content says not compressed, stripped extension says CSV).
+		{"plain.csv.gz", csvBuf.Bytes()},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := ReadFile(writeFile(t, dir, c.name, c.data))
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			if got.Initial != ref.Initial || got.Horizon != ref.Horizon ||
+				len(got.Events) != len(ref.Events) {
+				t.Fatalf("round trip mismatch: got %d initial / %g horizon / %d events",
+					got.Initial, got.Horizon, len(got.Events))
+			}
+			for i, ev := range got.Events {
+				if ev != ref.Events[i] {
+					t.Fatalf("event %d differs: %+v vs %+v", i, ev, ref.Events[i])
+				}
+			}
+		})
+	}
+}
+
+func TestReadFileEmptyAndGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFile(writeFile(t, dir, "empty.json", nil)); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	if _, err := ReadFile(writeFile(t, dir, "noise.csv", []byte("!!not a trace!!"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A truncated gzip header (one magic byte) must not be mistaken
+	// for compressed data.
+	if _, err := ReadFile(writeFile(t, dir, "half-magic.json", []byte{0x1f})); err == nil {
+		t.Fatal("half gzip magic accepted as a trace")
+	}
+}
