@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"p2psize/internal/experiments"
+	"p2psize/internal/fault"
 	"p2psize/internal/parallel"
 	"p2psize/internal/plot"
 	"p2psize/internal/registry"
@@ -52,6 +53,7 @@ func main() {
 		traceFile  = flag.String("tracefile", "", "also run the continuous monitor on this empirical churn trace (.json or .csv, optionally .gz), reported as experiment trace-file")
 		estimators = flag.String("estimators", "", "estimator roster of the trace-* monitoring experiments: comma-separated registry names/aliases, \"all\" or \"default\" (empty = default roster); part of the output")
 		cadences   = flag.String("cadences", "", "monitor cadence spec for the trace-* experiments: base tick and/or name=value overrides, e.g. \"agg=100\" or \"5,agg=50\"; part of the output")
+		faults     = flag.String("faults", "", "fault scenario every estimator runs under, e.g. \"drop=0.05,delay=2x,partition@40-60\" (empty = benign; the robustness-* experiments keep their own scenarios); part of the output")
 	)
 	flag.Parse()
 
@@ -89,6 +91,13 @@ func main() {
 		}
 		params.TraceCadence = base
 		params.Cadences = per
+	}
+	if *faults != "" {
+		spec, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		params.Faults = spec
 	}
 
 	var ids []string

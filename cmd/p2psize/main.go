@@ -26,6 +26,15 @@
 //
 //	p2psize -estimators sc,poll,agg -trace weibull -cadence 5,agg=50
 //	p2psize -estimators list
+//
+// -faults runs every selected algorithm under a degraded-network
+// scenario: message-level faults (drop/delay/dup/lie) decorate each
+// estimator with a deterministic fault injector, silent=/sybil=
+// reshape the overlay before estimating, and -trace partition replays
+// a partition-and-heal churn workload:
+//
+//	p2psize -nodes 100000 -estimators all -faults drop=0.05,delay=2x
+//	p2psize -estimators sc,hops -trace partition -policy window
 package main
 
 import (
@@ -61,7 +70,9 @@ func main() {
 
 		estSel = flag.String("estimators", "", "select algorithms from the estimator registry (comma-separated names/aliases, \"all\", \"default\", or \"list\" to print the catalog); overrides -algo")
 
-		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd, or a trace file (.json/.csv, optionally .gz)")
+		faults = flag.String("faults", "", "fault scenario every selected algorithm runs under, e.g. \"drop=0.05,delay=2x,lie=10@0.05\"; silent=/sybil= reshape the overlay, partition needs a trace timeline (use -trace partition)")
+
+		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd | partition, or a trace file (.json/.csv, optionally .gz)")
 		horizon   = flag.Float64("horizon", 1000, "trace duration in simulated time units (generated traces)")
 		cadence   = flag.String("cadence", "10", "monitor sampling spec: a base tick and/or per-estimator name=value overrides, e.g. \"10\", \"5,agg=50\", \"hops=1,agg=10\"")
 		policy    = flag.String("policy", "none", "monitor smoothing: none | window | ewma")
@@ -98,8 +109,18 @@ func main() {
 		l: *l, timer: *timer, mle: *mle, rounds: *rounds, shards: *shards,
 		aggWorkers: aggWorkers, minHops: *minHops, seed: *seed,
 	}
+	fopts, err := p2psize.ParseFaults(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if fopts.PartitionFrac > 0 {
+		fatal(fmt.Errorf("-faults: a partition needs a timeline to split and heal across; use -trace partition (or cmd/figures -only robustness-partition)"))
+	}
 
 	if *traceSpec != "" {
+		if fopts.SybilFrac > 0 {
+			fatal(fmt.Errorf("-faults: sybil inflation conflicts with the trace's population accounting in monitoring mode; use cmd/figures -only robustness-adversary"))
+		}
 		baseCadence, perCadence, err := registry.ParseCadenceSpec(*cadence, 10)
 		if err != nil {
 			fatal(err)
@@ -108,11 +129,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		specs = withFaultSpecs(specs, fopts, *seed)
 		if err := runMonitor(monitorOpts{
 			traceSpec: *traceSpec, topo: topo, maxDeg: *maxDeg, nodes: *nodes,
 			horizon: *horizon, cadence: baseCadence, cadences: perCadence,
 			policy: *policy, window: *window, alpha: *alpha, restart: *restart,
-			saveTrace: *saveTrace, seed: *seed, workers: *workers,
+			saveTrace: *saveTrace, seed: *seed, workers: *workers, faults: fopts,
 		}, specs); err != nil {
 			fatal(err)
 		}
@@ -129,12 +151,28 @@ func main() {
 	fmt.Printf("overlay ready: %d peers, average degree %.2f, connected=%v\n\n",
 		net.Size(), net.AvgDegree(), net.IsConnected())
 
+	// Error is judged against the honest population: silent peers still
+	// count (alive, just unresponsive), sybils never do. The adversary
+	// moves in before the estimators are built, so snapshot-based
+	// families (id-density) see the degraded overlay — sybil records
+	// registered, silent peers' records lingering.
+	honest := float64(net.Size())
+	if fopts.SilentFrac > 0 || fopts.SybilFrac > 0 {
+		silenced, sybils, err := net.ApplyAdversary(fopts, *seed+4000)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("adversary in place: %d peers silenced, %d sybils joined (%.0f honest peers)\n\n",
+			silenced, sybils, honest)
+	}
+
 	// The registry path hands the overlay to the factories so snapshot-
 	// based families (id-density) can derive their state from it.
 	specs, err := selectEstimators(*estSel, *algo, opts, net, false)
 	if err != nil {
 		fatal(err)
 	}
+	specs = withFaultSpecs(specs, fopts, *seed)
 
 	for _, spec := range specs {
 		net.ResetMessages()
@@ -149,8 +187,34 @@ func main() {
 			vals = p2psize.SmoothLastK(vals, 10)
 			name += "/last10runs"
 		}
-		reportRun(name, vals, net)
+		reportRun(name, vals, honest, net)
 	}
+}
+
+// withFaultSpecs decorates every spec's per-run factory with the
+// scenario's fault injector when the scenario carries message-level
+// faults. Run r of roster slot i draws its fates from the
+// (seed+5000+i, r) stream, so neither runs nor families ever share a
+// fault stream regardless of worker scheduling.
+func withFaultSpecs(specs []estimatorSpec, f p2psize.FaultOptions, seed uint64) []estimatorSpec {
+	if !f.MessageFaults() {
+		return specs
+	}
+	fmt.Printf("fault scenario: %s\n\n", f)
+	out := make([]estimatorSpec, len(specs))
+	for i, s := range specs {
+		inner := s.make
+		base := seed + 5000 + uint64(i)
+		out[i] = s
+		out[i].make = func(run int) p2psize.Estimator {
+			e, err := p2psize.ApplyFaults(inner(run), f, xrand.NewStream(base, uint64(run)).Uint64())
+			if err != nil {
+				fatal(err) // unreachable: the spec was validated at parse time
+			}
+			return e
+		}
+	}
+	return out
 }
 
 type estOpts struct {
@@ -222,12 +286,12 @@ func selectEstimators(sel, algo string, o estOpts, net *p2psize.Network, monitor
 			return nil, fmt.Errorf("estimator %q does not support continuous monitoring (snapshot-based); drop it from -estimators", d.Name)
 		}
 		cfg := p2psize.EstimatorConfig{
-			T: o.timer, L: o.l, UseMLE: o.mle,
+			SCTimer: o.timer, SCL: o.l, SCMLE: o.mle,
 			// Random Tour cost is Θ(N) per tour: average 10 in one-shot
 			// runs like -algo tour, but 3 per sample when monitoring.
-			Tours:            10,
-			MinHopsReporting: o.minHops,
-			Rounds:           o.rounds, Shards: o.shards, Workers: o.aggWorkers,
+			Tours:   10,
+			MinHops: o.minHops,
+			Rounds:  o.rounds, Shards: o.shards, Workers: o.aggWorkers,
 		}
 		if monitoring {
 			cfg.Tours = 3
@@ -311,8 +375,7 @@ func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
 	}
 }
 
-func reportRun(name string, vals []float64, net *p2psize.Network) {
-	truth := float64(net.Size())
+func reportRun(name string, vals []float64, truth float64, net *p2psize.Network) {
 	var sum, sumAbsErr float64
 	for _, v := range vals {
 		sum += v
@@ -321,8 +384,8 @@ func reportRun(name string, vals []float64, net *p2psize.Network) {
 	mean := sum / float64(len(vals))
 	fmt.Printf("%s\n", name)
 	fmt.Printf("  estimates: %s\n", formatVals(vals))
-	fmt.Printf("  mean %.0f (true %d), mean |error| %.1f%%\n",
-		mean, net.Size(), sumAbsErr/float64(len(vals)))
+	fmt.Printf("  mean %.0f (true %.0f), mean |error| %.1f%%\n",
+		mean, truth, sumAbsErr/float64(len(vals)))
 	fmt.Printf("  messages: %d total (%.0f per estimation)\n",
 		net.Messages(), float64(net.Messages())/float64(len(vals)))
 	byKind := net.MessagesByKind()

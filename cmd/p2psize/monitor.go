@@ -33,6 +33,12 @@ type monitorOpts struct {
 	saveTrace string
 	seed      uint64
 	workers   int
+	// faults is the -faults scenario; message-level faults are already
+	// baked into the specs, only the overlay surgery (silent peers) is
+	// applied here. Sybil inflation and partitions are rejected upstream
+	// (the former conflicts with the trace's population accounting, the
+	// latter is a trace workload of its own: -trace partition).
+	faults p2psize.FaultOptions
 }
 
 // buildTrace generates a named synthetic workload or loads a trace file
@@ -78,8 +84,21 @@ func buildTrace(o monitorOpts) (*p2psize.Trace, error) {
 			return nil, err
 		}
 		return tr, nil
+	case "partition":
+		base.Sessions = p2psize.ExponentialSessions
+		base.MeanSession = o.horizon / 2
+		tr, err := p2psize.GenerateTrace(base)
+		if err != nil {
+			return nil, err
+		}
+		// Half the peers split off the monitored component for the middle
+		// fifth of the horizon, then the survivors rejoin.
+		if err := tr.AddPartitionHeal(0.4*o.horizon, 0.6*o.horizon, 0.5, o.seed+1001); err != nil {
+			return nil, err
+		}
+		return tr, nil
 	default:
-		return nil, fmt.Errorf("unknown trace %q (want weibull, lognormal, exponential, pareto, diurnal, flashcrowd or a .json/.csv file)", o.traceSpec)
+		return nil, fmt.Errorf("unknown trace %q (want weibull, lognormal, exponential, pareto, diurnal, flashcrowd, partition or a .json/.csv file)", o.traceSpec)
 	}
 	return p2psize.GenerateTrace(base)
 }
@@ -135,6 +154,13 @@ func runMonitor(o monitorOpts, specs []estimatorSpec) error {
 	})
 	if err != nil {
 		return err
+	}
+	if o.faults.SilentFrac > 0 {
+		silenced, _, err := net.ApplyAdversary(o.faults, o.seed+4000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("adversary in place: %d peers silenced\n", silenced)
 	}
 	fmt.Printf("trace %q: %d joins, %d leaves over horizon %g; sampling every %g time units\n\n",
 		tr.Name(), tr.Joins(), tr.Leaves(), tr.Horizon(), o.cadence)

@@ -61,18 +61,39 @@ func DefaultEstimators() []string { return registry.DefaultSet() }
 
 // EstimatorConfig carries the tunable knobs NewEstimatorByName honors;
 // zero values select each family's paper defaults, and fields that do
-// not concern the named family are ignored.
+// not concern the named family are ignored. The canonical field names
+// match the internal registry's option names one-for-one; the original
+// public names (T, L, UseMLE, MinHopsReporting) remain as deprecated
+// aliases, honored when their canonical counterpart is zero.
 type EstimatorConfig struct {
-	// T is the Sample&Collide walk timer (0 = 10).
+	// SCTimer is the Sample&Collide walk timer (0 = 10).
+	SCTimer float64
+	// SCL is the Sample&Collide collision target (0 = 200).
+	SCL int
+	// SCMLE selects Sample&Collide's maximum-likelihood refinement.
+	SCMLE bool
+	// MinHops is HopsSampling's always-reply threshold (0 = 5).
+	MinHops int
+
+	// T is a deprecated alias of SCTimer.
+	//
+	// Deprecated: set SCTimer.
 	T float64
-	// L is the Sample&Collide collision target (0 = 200).
+	// L is a deprecated alias of SCL.
+	//
+	// Deprecated: set SCL.
 	L int
-	// UseMLE selects Sample&Collide's maximum-likelihood refinement.
+	// UseMLE is a deprecated alias of SCMLE.
+	//
+	// Deprecated: set SCMLE.
 	UseMLE bool
+	// MinHopsReporting is a deprecated alias of MinHops.
+	//
+	// Deprecated: set MinHops.
+	MinHopsReporting int
+
 	// Tours is the Random Tour count per estimation (0 = 1).
 	Tours int
-	// MinHopsReporting is HopsSampling's always-reply threshold (0 = 5).
-	MinHopsReporting int
 	// Rounds is the Aggregation rounds-per-epoch (0 = 50).
 	Rounds int
 	// Shards splits each Aggregation round's sweep (0 = auto; part of
@@ -92,51 +113,107 @@ type EstimatorConfig struct {
 	DHTK int
 	// DHTProbes is the DHT extrapolator's lookups per estimate (0 = 16).
 	DHTProbes int
+	// Faults runs the estimator under a fault scenario: the built
+	// instance is decorated so every Estimate call enforces the
+	// scenario's message-level faults (see ApplyFaults). The zero value
+	// is benign.
+	Faults FaultOptions
 	// Seed drives the estimator's randomness.
 	Seed uint64
+}
+
+// registryOptions is the single conversion point from the public
+// configuration to the internal registry's options: canonical fields
+// pass through one-for-one, deprecated aliases fill in wherever the
+// canonical field holds its zero value.
+func (c EstimatorConfig) registryOptions() registry.Options {
+	o := registry.Options{
+		SCTimer:      c.SCTimer,
+		SCL:          c.SCL,
+		SCMLE:        c.SCMLE || c.UseMLE,
+		Tours:        c.Tours,
+		MinHops:      c.MinHops,
+		Rounds:       c.Rounds,
+		Shards:       c.Shards,
+		Workers:      c.Workers,
+		ResponseProb: c.ResponseProb,
+		IDSamples:    c.IDSamples,
+		Marks:        c.Marks,
+		Recaptures:   c.Recaptures,
+		DHTK:         c.DHTK,
+		DHTProbes:    c.DHTProbes,
+		Faults:       c.Faults.spec(),
+	}
+	if o.SCTimer == 0 {
+		o.SCTimer = c.T
+	}
+	if o.SCL == 0 {
+		o.SCL = c.L
+	}
+	if o.MinHops == 0 {
+		o.MinHops = c.MinHopsReporting
+	}
+	return o
 }
 
 // NewEstimatorByName builds an estimator by registry name or alias.
 // net supplies the overlay snapshot-based families derive state from
 // (id-density builds its identifier ring from it); families that need
-// no snapshot accept a nil net.
+// no snapshot accept a nil net. A non-zero cfg.Faults decorates the
+// instance with the scenario's fault injector.
 func NewEstimatorByName(name string, cfg EstimatorConfig, net *Network) (Estimator, error) {
 	d, ok := registry.Get(name)
 	if !ok {
 		return nil, fmt.Errorf("p2psize: unknown estimator %q (have %v)", name, registry.Names())
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
 	var inner *overlay.Network
 	if net != nil {
 		inner = net.net
 	}
-	e, err := d.New(inner, xrand.New(cfg.Seed), registry.Options{
-		SCTimer:      cfg.T,
-		SCL:          cfg.L,
-		SCMLE:        cfg.UseMLE,
-		Tours:        cfg.Tours,
-		MinHops:      cfg.MinHopsReporting,
-		Rounds:       cfg.Rounds,
-		Shards:       cfg.Shards,
-		Workers:      cfg.Workers,
-		ResponseProb: cfg.ResponseProb,
-		IDSamples:    cfg.IDSamples,
-		Marks:        cfg.Marks,
-		Recaptures:   cfg.Recaptures,
-		DHTK:         cfg.DHTK,
-		DHTProbes:    cfg.DHTProbes,
-	})
+	e, err := d.Build(inner, xrand.New(cfg.Seed), cfg.registryOptions())
 	if err != nil {
 		return nil, fmt.Errorf("p2psize: %s: %w", d.Name, err)
 	}
-	return coreAdapter{e}, nil
+	return toPublic(e), nil
 }
 
-// coreAdapter lifts an internal estimator onto the public contract.
-type coreAdapter struct{ e core.Estimator }
+// coreWrap and publicWrap are the two halves of the package's single
+// adapter pair: coreWrap lifts an internal estimator onto the public
+// contract, publicWrap the reverse. All crossings go through toPublic /
+// toCore, which unwrap instead of stacking — an estimator that round-
+// trips across the boundary (a custom family inside the monitor, say)
+// comes back as itself, not as wrapper lasagna.
+type coreWrap struct{ e core.Estimator }
 
-func (a coreAdapter) Name() string { return a.e.Name() }
-func (a coreAdapter) Estimate(n *Network) (float64, error) {
-	return a.e.Estimate(n.net)
+func (w coreWrap) Name() string { return w.e.Name() }
+func (w coreWrap) Estimate(n *Network) (float64, error) {
+	return w.e.Estimate(n.net)
+}
+
+type publicWrap struct{ e Estimator }
+
+func (w publicWrap) Name() string { return w.e.Name() }
+func (w publicWrap) Estimate(o *overlay.Network) (float64, error) {
+	return w.e.Estimate(&Network{net: o})
+}
+
+// toPublic lifts an internal estimator onto the public contract.
+func toPublic(e core.Estimator) Estimator {
+	if w, ok := e.(publicWrap); ok {
+		return w.e
+	}
+	return coreWrap{e}
+}
+
+// toCore lowers a public estimator onto the internal contract.
+func toCore(e Estimator) core.Estimator {
+	if w, ok := e.(coreWrap); ok {
+		return w.e
+	}
+	return publicWrap{e}
 }
 
 // CustomEstimator registers a user-supplied estimator family.
@@ -189,16 +266,7 @@ func RegisterEstimator(c CustomEstimator) error {
 			if err != nil {
 				return nil, err
 			}
-			return publicAdapter{e}, nil
+			return toCore(e), nil
 		},
 	})
-}
-
-// publicAdapter lifts a public Estimator onto the internal contract so
-// custom families run inside the internal harnesses.
-type publicAdapter struct{ e Estimator }
-
-func (a publicAdapter) Name() string { return a.e.Name() }
-func (a publicAdapter) Estimate(o *overlay.Network) (float64, error) {
-	return a.e.Estimate(&Network{net: o})
 }

@@ -1,0 +1,162 @@
+package p2psize
+
+// Public fault-injection surface: describe a degraded-network scenario
+// (lossy links, inflated delay, duplicated traffic, misbehaving peers)
+// and run any estimator — built-in or custom — under it. Thin wrapper
+// over internal/fault; see that package for the transport semantics
+// (request/response traffic retransmits on loss, epidemic push/pull
+// traffic loses its payload).
+
+import (
+	"fmt"
+
+	"p2psize/internal/fault"
+	"p2psize/internal/xrand"
+)
+
+// FaultOptions describes one fault scenario. The zero value is the
+// benign no-fault scenario; fields compose freely.
+//
+// Drop, DelayFactor, Dup, LieScale and LieFrac are message-level faults,
+// enforced by the injector ApplyFaults (or EstimatorConfig.Faults)
+// installs: they apply to any estimator on any overlay. SilentFrac and
+// SybilFrac reshape the overlay itself — apply them with
+// Network.ApplyAdversary. PartitionFrac and its window need a run
+// timeline to split and heal across; the robustness-* experiments and
+// the "partition" trace workload realize them.
+type FaultOptions struct {
+	// Drop is the per-message loss probability in [0, 1).
+	Drop float64
+	// DelayFactor multiplies every message delay (latency pricing only;
+	// 0 means the neutral 1x).
+	DelayFactor float64
+	// Dup is the per-message duplication probability in [0, 1]:
+	// duplicated messages are metered again but carry no new payload.
+	Dup float64
+	// PartitionFrac is the fraction of peers split into the minority
+	// component during the partition window (0 = no partition).
+	PartitionFrac float64
+	// PartitionLo and PartitionHi bound the partition window as
+	// fractions of the run sequence (or trace horizon) in [0, 1].
+	PartitionLo, PartitionHi float64
+	// LieScale is the factor by which lying aggregators scale the sums
+	// they report (0 = no liars; honest is 1).
+	LieScale float64
+	// LieFrac is the fraction of peers that lie.
+	LieFrac float64
+	// SilentFrac is the fraction of peers that silently stop responding
+	// without leaving, so they still count toward the true size.
+	SilentFrac float64
+	// SybilFrac inflates the overlay with SybilFrac × N phantom peers.
+	SybilFrac float64
+}
+
+func (f FaultOptions) spec() fault.Spec {
+	return fault.Spec{
+		Drop:          f.Drop,
+		DelayFactor:   f.DelayFactor,
+		Dup:           f.Dup,
+		PartitionFrac: f.PartitionFrac,
+		PartitionLo:   f.PartitionLo,
+		PartitionHi:   f.PartitionHi,
+		LieScale:      f.LieScale,
+		LieFrac:       f.LieFrac,
+		SilentFrac:    f.SilentFrac,
+		SybilFrac:     f.SybilFrac,
+	}
+}
+
+func faultOptions(s fault.Spec) FaultOptions {
+	return FaultOptions{
+		Drop:          s.Drop,
+		DelayFactor:   s.DelayFactor,
+		Dup:           s.Dup,
+		PartitionFrac: s.PartitionFrac,
+		PartitionLo:   s.PartitionLo,
+		PartitionHi:   s.PartitionHi,
+		LieScale:      s.LieScale,
+		LieFrac:       s.LieFrac,
+		SilentFrac:    s.SilentFrac,
+		SybilFrac:     s.SybilFrac,
+	}
+}
+
+// Enabled reports whether the options request any fault at all.
+func (f FaultOptions) Enabled() bool { return f != FaultOptions{} }
+
+// MessageFaults reports whether the options carry message-level faults
+// ApplyFaults enforces (drop, delay, duplicate, lying).
+func (f FaultOptions) MessageFaults() bool { return f.spec().MessageFaults() }
+
+// Validate checks field ranges; the zero value is valid.
+func (f FaultOptions) Validate() error { return f.spec().Validate() }
+
+// String renders the options in the ParseFaults grammar (empty for the
+// benign scenario). ParseFaults(f.String()) round-trips.
+func (f FaultOptions) String() string { return f.spec().String() }
+
+// ParseFaults parses the comma-separated fault scenario grammar both
+// CLIs accept:
+//
+//	drop=0.05            5% of messages are lost
+//	delay=2x             message delays doubled ("2" works too)
+//	dup=0.01             1% of messages duplicated
+//	partition@40-60      half the peers split off for the 40%-60% window
+//	partition=0.3@40-60  30% of the peers split off instead
+//	lie=10@0.05          5% of peers scale reported sums by 10
+//	silent=0.1           10% of peers stop responding without leaving
+//	sybil=0.2            20% phantom peers join the overlay
+//
+// An empty spec returns the benign zero FaultOptions; repeated keys are
+// rejected.
+func ParseFaults(spec string) (FaultOptions, error) {
+	s, err := fault.ParseSpec(spec)
+	if err != nil {
+		return FaultOptions{}, fmt.Errorf("p2psize: %w", err)
+	}
+	return faultOptions(s), nil
+}
+
+// ApplyFaults wraps an estimator so every Estimate call runs under the
+// scenario's message-level faults: drop (with the request/response vs
+// fire-and-forget transport asymmetry), delay pricing, duplication and
+// lying peers. The wrapper installs the fault policy on whatever
+// network each Estimate call is handed and removes it afterwards, so
+// one wrapped estimator composes with views, clones and the monitor's
+// replay machinery unchanged. seed drives the injector's fate draws:
+// equal (estimator seed, fault seed) pairs give byte-identical runs.
+//
+// Population-level fields (PartitionFrac, SilentFrac, SybilFrac) are
+// not message faults and are ignored here; see FaultOptions.
+func ApplyFaults(e Estimator, f FaultOptions, seed uint64) (Estimator, error) {
+	spec := f.spec()
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("p2psize: %w", err)
+	}
+	if !spec.Enabled() {
+		return e, nil
+	}
+	return toPublic(fault.Decorate(toCore(e), fault.NewInjector(spec, xrand.New(seed)))), nil
+}
+
+// ApplyAdversary reshapes the overlay per the scenario's node-
+// misbehavior fields: SilentFrac of the peers have all their links
+// severed but stay alive (they still count toward the true size), and
+// SybilFrac × N phantom peers join through the normal attachment rule.
+// It returns how many peers were silenced and how many sybils joined.
+// The surgery is deterministic in seed and mutates the network, so
+// apply it once, before estimating; message-level fields are ignored
+// here (see ApplyFaults).
+func (n *Network) ApplyAdversary(f FaultOptions, seed uint64) (silenced, sybils int, err error) {
+	spec := f.spec()
+	if err := spec.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("p2psize: %w", err)
+	}
+	if spec.SilentFrac > 0 {
+		silenced = len(fault.Silence(n.net, spec.SilentFrac, seed))
+	}
+	if spec.SybilFrac > 0 {
+		sybils = fault.InflateSybils(n.net, spec.SybilFrac, xrand.New(seed+1))
+	}
+	return silenced, sybils, nil
+}

@@ -1,0 +1,179 @@
+package p2psize
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFaultsRoundTrip(t *testing.T) {
+	f, err := ParseFaults("drop=0.05,delay=2x,lie=10@0.05,sybil=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() || !f.MessageFaults() {
+		t.Fatalf("spec reported disabled: %+v", f)
+	}
+	if f.Drop != 0.05 || f.DelayFactor != 2 || f.LieScale != 10 || f.LieFrac != 0.05 || f.SybilFrac != 0.2 {
+		t.Fatalf("fields: %+v", f)
+	}
+	back, err := ParseFaults(f.String())
+	if err != nil || back != f {
+		t.Fatalf("round-trip: %+v -> %q -> %+v (%v)", f, f.String(), back, err)
+	}
+	if _, err := ParseFaults("drop=2"); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	zero, err := ParseFaults("")
+	if err != nil || zero.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", zero, err)
+	}
+}
+
+// TestApplyFaultsDeterministic pins the decorator's contract: equal
+// (estimator seed, fault seed) pairs reproduce the estimate exactly,
+// the benign scenario is the identity, and the faulted walk pays
+// retransmissions the benign run does not.
+func TestApplyFaultsDeterministic(t *testing.T) {
+	net, err := NewNetwork(NetworkOptions{Nodes: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (float64, uint64) {
+		net.ResetMessages()
+		e, err := NewEstimatorByName("sc", EstimatorConfig{SCL: 50, Seed: 7}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := ApplyFaults(e, FaultOptions{Drop: 0.2}, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := f.Estimate(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, net.Messages()
+	}
+	v1, m1 := run()
+	v2, m2 := run()
+	if v1 != v2 || m1 != m2 {
+		t.Fatalf("faulted runs differ: (%g, %d) vs (%g, %d)", v1, m1, v2, m2)
+	}
+
+	net.ResetMessages()
+	benign, err := NewEstimatorByName("sc", EstimatorConfig{SCL: 50, Seed: 7}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same, err := ApplyFaults(benign, FaultOptions{}, 99); err != nil || same != benign {
+		t.Fatalf("benign ApplyFaults is not the identity: %v, %v", same, err)
+	}
+	vb, err := benign.Estimate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb != v1 {
+		t.Fatalf("drop changed a reliable walk's estimate: %g benign vs %g faulted", vb, v1)
+	}
+	if mb := net.Messages(); mb >= m1 {
+		t.Fatalf("faulted run metered %d messages, benign %d; want retransmission overhead", m1, mb)
+	}
+
+	if _, err := ApplyFaults(benign, FaultOptions{Drop: 2}, 99); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+// TestEstimatorConfigAliases pins the deprecated alias contract: the
+// original public names keep working, and the canonical field wins when
+// both are set.
+func TestEstimatorConfigAliases(t *testing.T) {
+	alias := EstimatorConfig{T: 5, L: 50, UseMLE: true, MinHopsReporting: 7}
+	canon := EstimatorConfig{SCTimer: 5, SCL: 50, SCMLE: true, MinHops: 7}
+	both := EstimatorConfig{SCTimer: 5, T: 99, SCL: 50, L: 9999, SCMLE: true, MinHops: 7, MinHopsReporting: 99}
+	want := canon.registryOptions()
+	if got := alias.registryOptions(); got != want {
+		t.Fatalf("alias conversion:\n  %+v\nwant\n  %+v", got, want)
+	}
+	if got := both.registryOptions(); got != want {
+		t.Fatalf("canonical fields did not win:\n  %+v\nwant\n  %+v", got, want)
+	}
+
+	net, err := NewNetwork(NetworkOptions{Nodes: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := NewEstimatorByName("sc", EstimatorConfig{L: 50, Seed: 7}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := NewEstimatorByName("sc", EstimatorConfig{SCL: 50, Seed: 7}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := ea.Estimate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := ec.Estimate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != vc {
+		t.Fatalf("alias and canonical configs disagree: %g vs %g", va, vc)
+	}
+}
+
+func TestApplyAdversary(t *testing.T) {
+	net, err := NewNetwork(NetworkOptions{Nodes: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	silenced, sybils, err := net.ApplyAdversary(FaultOptions{SilentFrac: 0.1, SybilFrac: 0.2}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if silenced == 0 || sybils != 200 {
+		t.Fatalf("silenced %d, sybils %d; want > 0 and 200", silenced, sybils)
+	}
+	if net.Size() != 1200 {
+		t.Fatalf("size %d after inflation, want 1200", net.Size())
+	}
+	if _, _, err := net.ApplyAdversary(FaultOptions{SilentFrac: 2}, 42); err == nil {
+		t.Fatal("invalid scenario accepted")
+	}
+}
+
+func TestMonitorResultBounds(t *testing.T) {
+	net, err := NewNetwork(NetworkOptions{Nodes: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := GenerateTrace(TraceOptions{Nodes: 500, Horizon: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEstimatorByName("hops", EstimatorConfig{Seed: 7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunMonitor(net, tr, []Estimator{e}, MonitorOptions{Cadence: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Estimates(0) // in range: must not panic
+	for _, k := range []int{-1, 1, 99} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("index %d did not panic", k)
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "out of range") {
+					t.Fatalf("index %d panicked with %v", k, r)
+				}
+			}()
+			res.Tracking(k)
+		}()
+	}
+}

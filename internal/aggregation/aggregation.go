@@ -80,14 +80,26 @@ type Protocol struct {
 	epochOf   []uint32  // epoch tag a node participates in
 	epoch     uint32
 	initiator graph.NodeID
-	order     []int32      // scratch: shuffled alive indices
-	ownerOf   []uint16     // scratch: shard owning each node this round
-	shards    []shardState // scratch: per-shard sweep output
+	order     []int32             // scratch: shuffled alive indices
+	ownerOf   []uint16            // scratch: shard owning each node this round
+	shards    []shardState        // scratch: per-shard sweep output
+	pol       overlay.FaultPolicy // scratch: this round's fault policy
 }
 
-// pair is one deferred cross-shard exchange: u initiated, v was drawn.
+// Message fates under an installed fault policy. Push/pull traffic is
+// fire-and-forget: a lost message loses its payload (no retransmission),
+// which is how drop corrupts the conserved mass.
+const (
+	fatePushLost = 1 << iota // u's push never reached v: no exchange at all
+	fatePullLost             // v's reply never reached u: v averaged, u kept its value
+)
+
+// pair is one deferred cross-shard exchange: u initiated, v was drawn,
+// fate carries the pair's message fates (drawn in the initiating shard's
+// stream so the fix-up pass replays them unchanged).
 type pair struct {
 	u, v graph.NodeID
+	fate uint8
 }
 
 // shardState collects what one shard produces during the parallel phase
@@ -97,6 +109,7 @@ type pair struct {
 // lets the fix-up pass run as a tournament of disjoint shard pairs.
 type shardState struct {
 	pairs uint64
+	pulls uint64   // replies actually sent (push not lost)
 	def   [][]pair // indexed by the target's shard
 }
 
@@ -212,6 +225,26 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	// the protocol rng advances identically at every shard count.
 	roundSeed := p.rng.Uint64()
 	shards := parallel.Shards(p.cfg.Shards, n)
+	// Fate draws happen only under a positive drop probability, so the
+	// benign draw sequence is untouched by the fault layer's existence.
+	p.pol = net.FaultPolicy()
+	dropP := 0.0
+	if p.pol != nil {
+		dropP = p.pol.DropProb()
+	}
+	drawFate := func(rng *xrand.Rand) uint8 {
+		if dropP <= 0 {
+			return 0
+		}
+		var fate uint8
+		if rng.Bernoulli(dropP) {
+			fate |= fatePushLost
+		}
+		if rng.Bernoulli(dropP) {
+			fate |= fatePullLost
+		}
+		return fate
+	}
 
 	if shards == 1 {
 		rng := xrand.NewStream(roundSeed, 0)
@@ -222,9 +255,12 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
+			fate := drawFate(rng)
 			net.Send(metrics.KindPush)
-			net.Send(metrics.KindPull)
-			p.exchange(u, v)
+			if fate&fatePushLost == 0 {
+				net.Send(metrics.KindPull)
+			}
+			p.exchange(u, v, fate)
 		}
 		return
 	}
@@ -252,6 +288,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		rng := xrand.NewStream(roundSeed, uint64(s))
 		sh := &p.shards[s]
 		sh.pairs = 0
+		sh.pulls = 0
 		for len(sh.def) < shards {
 			sh.def = append(sh.def, nil)
 		}
@@ -264,11 +301,15 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
+			fate := drawFate(rng)
 			sh.pairs++
+			if fate&fatePushLost == 0 {
+				sh.pulls++
+			}
 			if t := p.ownerOf[v]; t == uint16(s) {
-				p.exchange(u, v)
+				p.exchange(u, v, fate)
 			} else {
-				sh.def[t] = append(sh.def[t], pair{u: u, v: v})
+				sh.def[t] = append(sh.def[t], pair{u: u, v: v, fate: fate})
 			}
 		}
 		return nil
@@ -278,7 +319,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	for s := 0; s < shards; s++ {
 		sh := &p.shards[s]
 		net.SendN(metrics.KindPush, sh.pairs)
-		net.SendN(metrics.KindPull, sh.pairs)
+		net.SendN(metrics.KindPull, sh.pulls)
 	}
 	// Phase 2: the cross-shard tournament. Every meeting {a, b} only
 	// touches values owned by a or b, and no tournament round repeats a
@@ -288,10 +329,10 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
 			a, b := round[i][0], round[i][1]
 			for _, pr := range p.shards[a].def[b] {
-				p.exchange(pr.u, pr.v)
+				p.exchange(pr.u, pr.v, pr.fate)
 			}
 			for _, pr := range p.shards[b].def[a] {
-				p.exchange(pr.u, pr.v)
+				p.exchange(pr.u, pr.v, pr.fate)
 			}
 			return nil
 		})
@@ -300,16 +341,30 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 
 // exchange performs one push-pull averaging between u and v: when either
 // endpoint participates in the current epoch the other joins with value
-// 0 and the pair averages.
-func (p *Protocol) exchange(u, v graph.NodeID) {
+// 0 and the pair averages. Under a fault policy, a lost push aborts the
+// exchange, a lost pull leaves u with its old value after v already
+// averaged (breaking mass conservation), and a lying endpoint's value is
+// scaled as seen by its peer while its own copy stays honest.
+func (p *Protocol) exchange(u, v graph.NodeID, fate uint8) {
+	if fate&fatePushLost != 0 {
+		return
+	}
 	if !p.participant(u) && !p.participant(v) {
 		return
 	}
 	p.join(u)
 	p.join(v)
-	avg := (p.values[u] + p.values[v]) / 2
-	p.values[u] = avg
-	p.values[v] = avg
+	vu, vv := p.values[u], p.values[v]
+	if p.pol == nil {
+		avg := (vu + vv) / 2
+		p.values[u] = avg
+		p.values[v] = avg
+		return
+	}
+	p.values[v] = (p.pol.ReportScale(u)*vu + vv) / 2
+	if fate&fatePullLost == 0 {
+		p.values[u] = (vu + p.pol.ReportScale(v)*vv) / 2
+	}
 }
 
 // EstimateAt returns the size estimate 1/value held at the given node,

@@ -16,8 +16,14 @@
 //
 // is therefore exactly unbiased, with relative error ~1/√(k−2).
 // Averaging Probes independent lookups tightens it to
-// ~1/√(Probes·(k−2)). Each probe is priced like the lookup a real DHT
-// would route: ⌈log₂N⌉ routing hops plus k closest-set replies.
+// ~1/√(Probes·(k−2)). Each probe routes iteratively like a real
+// Kademlia lookup: starting from a peer derived from the target, every
+// hop halves the XOR distance to the target and sends one routed
+// message, until the distance enters the closest set; then the k
+// closest-set replies come back. Per-hop metering (rather than a flat
+// ⌈log₂N⌉ price) routes each hop through the overlay's fault policy, so
+// the structured class pays drops and delays the same way the walkers
+// do.
 //
 // Unlike the idspace baseline — whose precomputed ring is a membership
 // snapshot and therefore unsound under churn — the identifiers here are
@@ -124,24 +130,42 @@ func (e *Estimator) Estimate(net *overlay.Network) (float64, error) {
 		net.Send(metrics.KindWalk)
 		return float64(n), nil
 	}
-	// A Kademlia lookup halves the distance per hop, so a converged
-	// DHT routes ⌈log₂N⌉ hops to the closest set. Priced from the true
-	// population, not the estimate, so cost never couples to noise.
-	hops := uint64(math.Ceil(math.Log2(float64(n))))
-	if hops == 0 {
-		hops = 1
-	}
 	sum := 0.0
 	for p := 0; p < e.cfg.Probes; p++ {
+		// The target is the probe's only rng draw; the lookup initiator
+		// is derived from it, not drawn, so routing costs never perturb
+		// the estimate stream.
 		target := e.rng.Uint64()
 		dk := e.kthClosest(g, target, k)
-		net.SendN(metrics.KindWalk, hops)
+		// Iterative routing: each hop lands on a peer whose XOR distance
+		// to the target is half the previous one (Kademlia's per-hop
+		// guarantee) and costs one routed message, until the distance
+		// enters the closest set. A converged DHT thus routes at most
+		// ~log₂N hops; here the count follows the actual distances.
+		d := e.id64(start(g, target, n)) ^ target
+		hops := 0
+		for d > dk && hops < 64 {
+			net.Send(metrics.KindWalk)
+			d >>= 1
+			hops++
+		}
+		if hops == 0 {
+			// The initiator already held the closest set: still one
+			// lookup message to fetch it.
+			net.Send(metrics.KindWalk)
+		}
 		net.SendN(metrics.KindReply, uint64(k))
 		// d(k) > 0: identifiers are distinct (64-bit hash collisions
 		// aside) and a zero distance would need id == target exactly.
 		sum += float64(k-1) * math.Ldexp(1, 64) / float64(dk)
 	}
 	return sum / float64(e.cfg.Probes), nil
+}
+
+// start picks the lookup initiator for a probe: a peer indexed by the
+// target itself, so the choice is deterministic given (overlay, target).
+func start(g *graph.Graph, target uint64, n int) graph.NodeID {
+	return g.AliveAt(int(target % uint64(n)))
 }
 
 // kthClosest returns the k-th smallest XOR distance from target to any

@@ -111,9 +111,15 @@ func TestMessagesMetered(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := net.Counter()
-	// ceil(log2(512)) = 9 routing hops and k replies per probe.
-	if got, want := c.Count(metrics.KindWalk), uint64(4*9); got != want {
-		t.Fatalf("routing hops = %d, want %d", got, want)
+	// Iterative routing sends one message per distance-halving hop: at
+	// least one per probe, and for 512 peers well under the 64-hop cap.
+	// The exact count is a deterministic function of the seed (golden).
+	walks := c.Count(metrics.KindWalk)
+	if walks < 4 || walks > 4*64 {
+		t.Fatalf("routing hops = %d, want within [4, %d]", walks, 4*64)
+	}
+	if got, want := walks, uint64(21); got != want {
+		t.Fatalf("routing hops = %d, want golden %d (seed 9)", got, want)
 	}
 	if got, want := c.Count(metrics.KindReply), uint64(4*10); got != want {
 		t.Fatalf("closest-set replies = %d, want %d", got, want)

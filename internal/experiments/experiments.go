@@ -16,6 +16,7 @@ import (
 
 	"p2psize/internal/aggregation"
 	"p2psize/internal/core"
+	"p2psize/internal/fault"
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
 	"p2psize/internal/overlay"
@@ -93,6 +94,11 @@ type Params struct {
 	// TraceCadence time units. Like the shard count this is part of the
 	// output, not a scheduling knob.
 	Cadences map[string]float64
+	// Faults selects the fault scenario every registry-built estimator
+	// runs under (zero Spec = benign; see fault.ParseSpec for the CLI
+	// grammar). The robustness-* experiments carry their own scenarios
+	// and ignore this. Part of the output, like Shards.
+	Faults fault.Spec
 }
 
 // Defaults returns the paper-scale parameters.
@@ -150,6 +156,27 @@ type Figure struct {
 	// Messages is the total protocol traffic metered while producing the
 	// figure — the per-experiment cost reported by the suite runner.
 	Messages uint64
+	// Rankings order the compared estimator families by robustness for
+	// the experiment's scenario (robustness-* experiments only; nil
+	// elsewhere). Carried into the suite report next to the series.
+	Rankings []Ranking
+}
+
+// Ranking is one family's robustness summary under one fault scenario:
+// accuracy (MAE in absolute peers, MAPE in percent of the true size)
+// and the p50/p95/p99 percentiles of the modeled estimate latency.
+type Ranking struct {
+	// Name is the family's canonical registry name.
+	Name string `json:"name"`
+	// MAE is the mean absolute error in peers.
+	MAE float64 `json:"mae"`
+	// MAPE is the mean absolute percentage error.
+	MAPE float64 `json:"mape"`
+	// P50, P95 and P99 are estimate-latency percentiles in the latency
+	// model's time units.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // AddNote appends a formatted note line.
@@ -214,15 +241,26 @@ func estimator(id, name string) (registry.Descriptor, error) {
 	return d, nil
 }
 
+// withFaults folds the experiment-wide fault scenario into a family's
+// options; options that already carry their own scenario win (the
+// robustness experiments set them per candidate).
+func withFaults(p Params, opts registry.Options) registry.Options {
+	if !opts.Faults.Enabled() {
+		opts.Faults = p.Faults
+	}
+	return opts
+}
+
 // perRun builds a run-indexed estimator factory for the static run
 // loops: run i draws from the (seed, i) stream regardless of worker
-// scheduling (see registry.Descriptor.PerRun).
-func perRun(id, name string, net *overlay.Network, seed uint64, opts registry.Options) (func(run int) core.Estimator, error) {
+// scheduling (see registry.Descriptor.PerRun). Params.Faults is folded
+// into the options, so -faults reaches every static experiment.
+func perRun(id, name string, net *overlay.Network, p Params, seed uint64, opts registry.Options) (func(run int) core.Estimator, error) {
 	d, err := estimator(id, name)
 	if err != nil {
 		return nil, err
 	}
-	mk, err := d.PerRun(net, seed, opts)
+	mk, err := d.PerRun(net, seed, withFaults(p, opts))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", id, err)
 	}
@@ -231,15 +269,17 @@ func perRun(id, name string, net *overlay.Network, seed uint64, opts registry.Op
 
 // instances builds count concurrent instances of one registry family on
 // the streams seed+stream+10+k — the layout every dynamic figure uses
-// for its three side-by-side estimation processes.
+// for its three side-by-side estimation processes. Params.Faults is
+// folded into the options, like perRun.
 func instances(id, name string, count int, p Params, stream uint64, opts registry.Options) ([]core.Estimator, error) {
 	d, err := estimator(id, name)
 	if err != nil {
 		return nil, err
 	}
+	opts = withFaults(p, opts)
 	out := make([]core.Estimator, count)
 	for k := range out {
-		e, err := d.New(nil, xrand.New(p.Seed+stream+10+uint64(k)), opts)
+		e, err := d.Build(nil, xrand.New(p.Seed+stream+10+uint64(k)), opts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", id, err)
 		}

@@ -58,7 +58,7 @@ func extWalks(p Params) (*Figure, error) {
 	outs, err := parallel.Map(p.Workers, len(sizes), func(si int) (sizeOut, error) {
 		n := sizes[si]
 		net := hetNet(n, p, 0x3000+uint64(n))
-		mkRT, err := perRun("ext-walks random tour", "randomtour", net, p.Seed+0x3001, registry.Options{Tours: 10})
+		mkRT, err := perRun("ext-walks random tour", "randomtour", net, p, p.Seed+0x3001, registry.Options{Tours: 10})
 		if err != nil {
 			return sizeOut{}, err
 		}
@@ -66,7 +66,7 @@ func extWalks(p Params) (*Figure, error) {
 		if err != nil {
 			return sizeOut{}, fmt.Errorf("ext-walks random tour: %w", err)
 		}
-		mkSC, err := perRun("ext-walks sample&collide", "samplecollide", net, p.Seed+0x3002, registry.Options{})
+		mkSC, err := perRun("ext-walks sample&collide", "samplecollide", net, p, p.Seed+0x3002, registry.Options{})
 		if err != nil {
 			return sizeOut{}, err
 		}
@@ -143,7 +143,7 @@ func extClasses(p Params) (*Figure, error) {
 	outs, err := parallel.Map(outer, len(candidates), func(ci int) (candOut, error) {
 		c := candidates[ci]
 		view := baseNet.View()
-		mk, err := perRun("ext-classes "+c.name, c.family, view, p.Seed+c.seed, c.opts)
+		mk, err := perRun("ext-classes "+c.name, c.family, view, p, p.Seed+c.seed, c.opts)
 		if err != nil {
 			return candOut{}, err
 		}

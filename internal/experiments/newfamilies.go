@@ -90,7 +90,7 @@ func staticNew(p Params) (*Figure, error) {
 			out.notes = append(out.notes, fmt.Sprintf(
 				"Push-sum plotted for %d estimations (flat curve, epoch cost N·%d)", candidateRuns, p.EpochLen))
 		}
-		mk, err := perRun("static-new", c.family, net, c.seed, c.opts)
+		mk, err := perRun("static-new", c.family, net, p, c.seed, c.opts)
 		if err != nil {
 			return candOut{}, err
 		}

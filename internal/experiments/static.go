@@ -68,7 +68,7 @@ func abs(x float64) float64 {
 // add family-specific notes and read the meter.
 func staticQuality(id, title, family string, opts registry.Options, n, runs int, p Params, stream uint64) (*Figure, *overlay.Network, error) {
 	net := hetNet(n, p, stream)
-	mk, err := perRun(id, family, net, p.Seed+stream+1, opts)
+	mk, err := perRun(id, family, net, p, p.Seed+stream+1, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -287,7 +287,7 @@ func fig08(p Params) (*Figure, error) {
 			out.notes = append(out.notes, fmt.Sprintf(
 				"Aggregation plotted for %d estimations (flat curve, epoch cost N·%d·2)", candidateRuns, p.EpochLen))
 		}
-		mk, err := perRun("fig08", c.family, net, c.seed, c.opts)
+		mk, err := perRun("fig08", c.family, net, p, c.seed, c.opts)
 		if err != nil {
 			return candOut{}, err
 		}

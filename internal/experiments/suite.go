@@ -36,8 +36,13 @@ type ExperimentReport struct {
 	WallMS   float64         `json:"wall_ms"`
 	Messages uint64          `json:"messages"`
 	Series   []SeriesSummary `json:"series,omitempty"`
-	Notes    int             `json:"notes"`
-	Error    string          `json:"error,omitempty"`
+	// Rankings carry the robustness-* experiments' per-family summaries
+	// (MAE/MAPE and latency percentiles), most robust first. Additive:
+	// reports from other experiments omit the field, so the schema
+	// version is unchanged.
+	Rankings []Ranking `json:"rankings,omitempty"`
+	Notes    int       `json:"notes"`
+	Error    string    `json:"error,omitempty"`
 }
 
 // SuiteReport aggregates a whole suite execution. cmd/figures writes it
@@ -95,6 +100,7 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 			Checksum: ChecksumSeries(s),
 		})
 	}
+	r.Rankings = append(r.Rankings, fig.Rankings...)
 	return r
 }
 
@@ -115,6 +121,8 @@ var costHint = map[string]int{
 	"perf-agg-seq":   35, "perf-agg-shard": 35, // 1M-node round sweeps
 	"perf-cyclon-seq": 35, "perf-cyclon-shard": 35,
 	"fig02": 30, "fig04": 30, // 1M-node estimation runs
+	"robustness-drop": 30, "robustness-delay": 30, "robustness-dup": 30, // nine families × faulted runs
+	"robustness-partition": 30, "robustness-adversary": 30,
 	"ext-cyclon": 25, "ext-walks": 20, "ext-delay": 20,
 	"table1": 15,
 }

@@ -61,7 +61,7 @@ func TableIRows(p Params) ([]TableIRow, uint64, error) {
 	outs, err := parallel.Map(p.Workers, len(groups), func(i int) (groupOut, error) {
 		g := groups[i]
 		net := hetNet(p.N100k, p, g.stream)
-		mk, err := perRun("table1 "+g.label, g.family, net, p.Seed+g.runSeed, g.opts)
+		mk, err := perRun("table1 "+g.label, g.family, net, p, p.Seed+g.runSeed, g.opts)
 		if err != nil {
 			return groupOut{}, err
 		}

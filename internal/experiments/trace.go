@@ -59,7 +59,7 @@ func traceInstances(p Params, stream uint64) ([]monitor.Instance, error) {
 			return nil, fmt.Errorf("estimator %q does not support continuous monitoring (snapshot-based)", d.Name)
 		}
 		selected[d.Name] = true
-		e, err := d.New(nil, xrand.New(p.Seed+stream+d.StreamOffset), opts)
+		e, err := d.Build(nil, xrand.New(p.Seed+stream+d.StreamOffset), withFaults(p, opts))
 		if err != nil {
 			return nil, fmt.Errorf("estimator %q: %w", d.Name, err)
 		}

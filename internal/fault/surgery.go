@@ -1,0 +1,111 @@
+package fault
+
+// Graph surgery: the adversary and partition scenarios that cannot be
+// expressed at the metering surface because they change who is reachable
+// rather than what messages cost. All selection is by salted hash of the
+// stable node ID, so the same (overlay, spec, salt) produce the same
+// surgery in every clone at every worker count.
+
+import (
+	"math"
+	"sort"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/overlay"
+	"p2psize/internal/xrand"
+)
+
+// Edge is one severed undirected link, kept for Heal.
+type Edge struct {
+	U, V graph.NodeID
+}
+
+// selected reports whether id falls in the salted-hash fraction frac.
+func selected(id graph.NodeID, frac float64, salt uint64) bool {
+	if frac <= 0 {
+		return false
+	}
+	x := salt ^ (uint64(uint32(id)) + 0x9e3779b97f4a7c15)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x) < frac*math.Ldexp(1, 64)
+}
+
+// Partition splits the overlay into two components: every peer hashing
+// into frac under salt moves to the minority side and every edge
+// crossing the cut is severed. The severed edges are returned, sorted,
+// so Heal can restore the exact pre-split topology. Peers keep their
+// alive status — a partition hides peers, it does not remove them.
+func Partition(net *overlay.Network, frac float64, salt uint64) []Edge {
+	g := net.Graph()
+	var severed []Edge
+	g.ForEachAlive(func(u graph.NodeID) {
+		if !selected(u, frac, salt) {
+			return
+		}
+		// Copy: RemoveEdge mutates the adjacency being iterated.
+		for _, v := range append([]graph.NodeID(nil), g.Neighbors(u)...) {
+			if selected(v, frac, salt) {
+				continue // both minority: the edge survives inside the island
+			}
+			g.RemoveEdge(u, v)
+			severed = append(severed, Edge{U: u, V: v})
+		}
+	})
+	sort.Slice(severed, func(i, j int) bool {
+		if severed[i].U != severed[j].U {
+			return severed[i].U < severed[j].U
+		}
+		return severed[i].V < severed[j].V
+	})
+	return severed
+}
+
+// Heal restores edges severed by Partition. Endpoints that died since
+// the split are skipped — their links are gone for the usual churn
+// reasons, not the partition's.
+func Heal(net *overlay.Network, severed []Edge) {
+	g := net.Graph()
+	for _, e := range severed {
+		if g.Alive(e.U) && g.Alive(e.V) && !g.HasEdge(e.U, e.V) {
+			g.AddEdge(e.U, e.V)
+		}
+	}
+}
+
+// Silence makes the salted-hash fraction frac of the peers silent
+// leavers: all their links are severed but they stay in the alive set,
+// so walks and gossip can no longer reach them while the true size the
+// estimators chase still counts them. (Identifier sweeps — the dht
+// family's closest-set scan — still see them: a silent peer's DHT
+// records outlive its responsiveness, the asymmetry the IPFS liveness
+// study measures.) Returns the silenced peers, sorted.
+func Silence(net *overlay.Network, frac float64, salt uint64) []graph.NodeID {
+	g := net.Graph()
+	var silent []graph.NodeID
+	g.ForEachAlive(func(u graph.NodeID) {
+		if !selected(u, frac, salt) {
+			return
+		}
+		for _, v := range append([]graph.NodeID(nil), g.Neighbors(u)...) {
+			g.RemoveEdge(u, v)
+		}
+		silent = append(silent, u)
+	})
+	sort.Slice(silent, func(i, j int) bool { return silent[i] < silent[j] })
+	return silent
+}
+
+// InflateSybils joins frac × current-size phantom peers through the
+// normal join path, so they are indistinguishable from honest nodes to
+// every protocol. The caller judges estimator error against the honest
+// population it recorded before the inflation. Returns how many sybils
+// joined.
+func InflateSybils(net *overlay.Network, frac float64, rng *xrand.Rand) int {
+	count := int(frac * float64(net.Size()))
+	for i := 0; i < count; i++ {
+		net.JoinRandomDegree(rng)
+	}
+	return count
+}

@@ -22,6 +22,26 @@ import (
 // NodeID aliases the graph node identifier.
 type NodeID = graph.NodeID
 
+// FaultPolicy intercepts the metering surface to enforce degraded
+// network conditions. The overlay consults it on every Send/SendN;
+// protocols consult it for the fate and fidelity of their own payloads.
+// It is declared here — rather than in the fault package that implements
+// it — so the overlay needs no new dependency and any package can supply
+// a policy.
+type FaultPolicy interface {
+	// OnSend is called for count fresh messages of the kind and returns
+	// how many extra messages (retransmissions, duplicates) to meter on
+	// top of them.
+	OnSend(kind metrics.Kind, count uint64) uint64
+	// DropProb is the payload-loss probability fire-and-forget protocols
+	// (epidemic push/pull) apply to their own deliveries; request/
+	// response traffic retransmits instead and never consults it.
+	DropProb() float64
+	// ReportScale is the factor by which the given peer misreports the
+	// values it sends (1 for honest peers).
+	ReportScale(id NodeID) float64
+}
+
 // Network is an overlay of live peers. It owns the message meter: all
 // protocol traffic must be recorded through Send/SendN so that overhead
 // comparisons across algorithms are consistent.
@@ -29,6 +49,7 @@ type Network struct {
 	g       *graph.Graph
 	counter *metrics.Counter
 	maxDeg  int
+	policy  FaultPolicy
 }
 
 // New wraps an existing topology into a Network with the given degree cap
@@ -87,11 +108,32 @@ func (n *Network) MaxDegree() int { return n.maxDeg }
 // quantity the estimators try to recover.
 func (n *Network) Size() int { return n.g.NumAlive() }
 
-// Send meters one message of the given kind.
-func (n *Network) Send(kind metrics.Kind) { n.counter.Inc(kind) }
+// SetFaultPolicy installs (or, with nil, removes) the fault policy
+// consulted by Send/SendN. Clones and views never inherit a policy:
+// faults are installed per run or per instance by the fault layer.
+func (n *Network) SetFaultPolicy(p FaultPolicy) { n.policy = p }
 
-// SendN meters count messages of the given kind.
-func (n *Network) SendN(kind metrics.Kind, count uint64) { n.counter.Add(kind, count) }
+// FaultPolicy returns the installed fault policy, or nil on a benign
+// overlay.
+func (n *Network) FaultPolicy() FaultPolicy { return n.policy }
+
+// Send meters one message of the given kind, plus whatever faults the
+// installed policy charges for it.
+func (n *Network) Send(kind metrics.Kind) {
+	n.counter.Inc(kind)
+	if n.policy != nil {
+		n.counter.Add(kind, n.policy.OnSend(kind, 1))
+	}
+}
+
+// SendN meters count messages of the given kind, plus whatever faults
+// the installed policy charges for them.
+func (n *Network) SendN(kind metrics.Kind, count uint64) {
+	n.counter.Add(kind, count)
+	if n.policy != nil && count > 0 {
+		n.counter.Add(kind, n.policy.OnSend(kind, count))
+	}
+}
 
 // RandomPeer returns a uniformly random live peer, or (graph.None, false)
 // if the overlay is empty.

@@ -222,6 +222,17 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	// the protocol rng advances identically at every shard count.
 	roundSeed := p.rng.Uint64()
 	shards := parallel.Shards(p.cfg.Shards, n)
+	// Pushes are fire-and-forget: under a fault policy a lost push is
+	// still metered and the sender still halves, but the half-pair
+	// evaporates in transit — the mass-conservation failure drop causes.
+	// A lying sender scales the sum it pushes; its own half stays honest.
+	// Fate draws happen only under a positive drop probability, so the
+	// benign draw sequence is untouched by the fault layer's existence.
+	pol := net.FaultPolicy()
+	dropP := 0.0
+	if pol != nil {
+		dropP = pol.DropProb()
+	}
 
 	if shards == 1 {
 		rng := xrand.NewStream(roundSeed, 0)
@@ -232,9 +243,16 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
+			lost := dropP > 0 && rng.Bernoulli(dropP)
 			net.Send(metrics.KindPush)
 			if p.participant(u) {
 				s, w := p.halve(u)
+				if lost {
+					continue
+				}
+				if pol != nil {
+					s *= pol.ReportScale(u)
+				}
 				p.deliver(v, s, w)
 			}
 		}
@@ -276,11 +294,18 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
+			lost := dropP > 0 && rng.Bernoulli(dropP)
 			sh.msgs++
 			if !p.participant(u) {
 				continue
 			}
 			ds, dw := p.halve(u)
+			if lost {
+				continue
+			}
+			if pol != nil {
+				ds *= pol.ReportScale(u)
+			}
 			if t := p.ownerOf[v]; t == uint16(s) {
 				p.deliver(v, ds, dw)
 			} else {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"p2psize/internal/core"
+	"p2psize/internal/fault"
 	"p2psize/internal/idspace"
 	"p2psize/internal/overlay"
 	"p2psize/internal/xrand"
@@ -69,6 +70,12 @@ type Options struct {
 	DHTK int
 	// DHTProbes is the DHT extrapolator's lookups per estimate (0 = 16).
 	DHTProbes int
+	// Faults selects the fault scenario every built estimator runs
+	// under (the zero Spec is benign). Honored by Descriptor.Build, not
+	// by the factories themselves: the estimator is wrapped in the fault
+	// layer's decorator, so families need no fault awareness of their
+	// own.
+	Faults fault.Spec
 }
 
 // Factory builds one estimator instance. net is the overlay the
@@ -319,6 +326,23 @@ func ParseCadenceSpec(spec string, base float64) (float64, map[string]float64, e
 	return base, overrides, nil
 }
 
+// Build constructs one estimator instance, honoring every option the
+// factories do not see themselves: when opts.Faults is enabled the
+// estimator is wrapped in the fault layer's decorator, with an injector
+// seeded from one draw of rng. This is the single chokepoint between
+// the catalog and the fault layer — every call site that builds through
+// it (the experiment harness, the monitor, both CLIs, the public API)
+// runs every family under faults unmodified. The benign path takes no
+// rng draw, so fault-free streams are untouched by the layer's
+// existence.
+func (d Descriptor) Build(net *overlay.Network, rng *xrand.Rand, opts Options) (core.Estimator, error) {
+	e, err := d.New(net, rng, opts)
+	if err != nil || !opts.Faults.Enabled() {
+		return e, err
+	}
+	return fault.Decorate(e, fault.NewInjector(opts.Faults, xrand.New(rng.Uint64()))), nil
+}
+
 // PerRun returns a run-indexed estimator builder for the static run
 // loops (core.RunStaticParallel and friends): run i's estimator draws
 // from the (seed, i) stream, so its estimate and per-run message
@@ -326,11 +350,11 @@ func ParseCadenceSpec(spec string, base float64) (float64, map[string]float64, e
 // worker count. The options are validated once up front (with a
 // throwaway stream) so configuration errors surface here, not mid-run.
 func (d Descriptor) PerRun(net *overlay.Network, seed uint64, opts Options) (func(run int) core.Estimator, error) {
-	if _, err := d.New(net, xrand.NewStream(seed, 0), opts); err != nil {
+	if _, err := d.Build(net, xrand.NewStream(seed, 0), opts); err != nil {
 		return nil, fmt.Errorf("registry: %s: %w", d.Name, err)
 	}
 	return func(run int) core.Estimator {
-		e, err := d.New(net, xrand.NewStream(seed, uint64(run)), opts)
+		e, err := d.Build(net, xrand.NewStream(seed, uint64(run)), opts)
 		if err != nil {
 			// The eager validation above accepted these options; a
 			// factory failing only on some run indices would break the

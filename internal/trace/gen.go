@@ -259,3 +259,61 @@ func (t *Trace) AddMassFailure(at, fraction float64, rng *xrand.Rand) error {
 	t.Normalize()
 	return nil
 }
+
+// AddPartitionHeal composes a network partition, as one side of the cut
+// observes it, onto the trace: at splitAt the given fraction of the
+// alive sessions vanishes together (the peers behind the partition),
+// and at healAt the cohort's survivors — victims whose original
+// departure lies beyond healAt, or who never left — rejoin together.
+// Sessions join at most once (Validate's rule), so each survivor
+// rejoins as a fresh session whose departure keeps the victim's original
+// schedule; victims that would have left during the window simply stay
+// gone. Victims are drawn uniformly from the alive set via rng; events
+// are re-normalized.
+func (t *Trace) AddPartitionHeal(splitAt, healAt, fraction float64, rng *xrand.Rand) error {
+	if splitAt < 0 || healAt > t.Horizon || splitAt >= healAt {
+		return fmt.Errorf("trace: partition window [%g, %g] outside [0, %g]", splitAt, healAt, t.Horizon)
+	}
+	if fraction < 0 || fraction > 1 {
+		return errors.New("trace: partition fraction must be in [0, 1]")
+	}
+	alive := t.aliveAt(splitAt)
+	k := int(fraction * float64(len(alive)))
+	if k == 0 {
+		return nil
+	}
+	victims := make(map[int]bool, k)
+	for _, idx := range rng.SampleK(len(alive), k) {
+		victims[alive[idx]] = true
+	}
+	// Each victim's scheduled departure, if any, decides its fate: gone
+	// for good when it falls inside the window, a survivor otherwise.
+	leaveOf := make(map[int]float64, k)
+	kept := t.Events[:0]
+	for _, ev := range t.Events {
+		if ev.Op == Leave && ev.T > splitAt && victims[ev.Session] {
+			leaveOf[ev.Session] = ev.T
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	t.Events = kept
+	next := t.Sessions()
+	for _, s := range alive {
+		if !victims[s] {
+			continue
+		}
+		t.Events = append(t.Events, Event{T: splitAt, Session: s, Op: Leave})
+		end, scheduled := leaveOf[s]
+		if scheduled && end <= healAt {
+			continue // departed behind the partition; never comes back
+		}
+		t.Events = append(t.Events, Event{T: healAt, Session: next, Op: Join})
+		if scheduled {
+			t.Events = append(t.Events, Event{T: end, Session: next, Op: Leave})
+		}
+		next++
+	}
+	t.Normalize()
+	return nil
+}

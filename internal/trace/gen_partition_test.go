@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"p2psize/internal/xrand"
+)
+
+func TestAddPartitionHealWindowErrors(t *testing.T) {
+	for _, tc := range []struct {
+		split, heal, frac float64
+		want              string
+	}{
+		{-1, 500, 0.5, "window"},
+		{100, 2000, 0.5, "window"},
+		{600, 400, 0.5, "window"},
+		{500, 500, 0.5, "window"},
+		{100, 500, 1.5, "fraction"},
+		{100, 500, -0.1, "fraction"},
+	} {
+		tr := mustGenerate(t, testConfig(), 1)
+		err := tr.AddPartitionHeal(tc.split, tc.heal, tc.frac, xrand.New(2))
+		if err == nil {
+			t.Fatalf("AddPartitionHeal(%g, %g, %g) accepted", tc.split, tc.heal, tc.frac)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("AddPartitionHeal(%g, %g, %g) = %v, want mention of %q",
+				tc.split, tc.heal, tc.frac, err, tc.want)
+		}
+	}
+}
+
+func TestAddPartitionHealSizeProfile(t *testing.T) {
+	tr := mustGenerate(t, testConfig(), 1)
+	const split, heal = 400.0, 600.0
+	before := tr.SizeAt(split - 1)
+	aliveAtSplit := tr.SizeAt(split)
+	if err := tr.AddPartitionHeal(split, heal, 0.5, xrand.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("trace invalid after partition: %v", err)
+	}
+	if got := tr.SizeAt(split - 1); got != before {
+		t.Fatalf("size before the split changed: %d vs %d", got, before)
+	}
+	during := tr.SizeAt((split + heal) / 2)
+	// Half the population vanished at the split; churn moves the number
+	// a little inside the window, so assert a generous envelope.
+	if during > int(0.7*float64(aliveAtSplit)) {
+		t.Fatalf("mid-partition size %d, want well below the pre-split %d", during, aliveAtSplit)
+	}
+	after := tr.SizeAt(heal + 1)
+	if after <= during {
+		t.Fatalf("heal did not restore anyone: %d during, %d after", during, after)
+	}
+	// Survivors rejoin; only victims whose own session ended inside the
+	// window stay gone, so the healed size must recover most of the gap.
+	if after < during+(aliveAtSplit-during)/2 {
+		t.Fatalf("heal recovered too little: %d at split, %d during, %d after",
+			aliveAtSplit, during, after)
+	}
+}
+
+func TestAddPartitionHealDeterministic(t *testing.T) {
+	mk := func() *Trace {
+		tr := mustGenerate(t, testConfig(), 1)
+		if err := tr.AddPartitionHeal(300, 700, 0.4, xrand.New(9)); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"strings"
 
 	"p2psize/internal/monitor"
-	"p2psize/internal/overlay"
 	"p2psize/internal/xrand"
 )
 
@@ -99,16 +98,33 @@ func (r *MonitorResult) TrueSizes() []float64 { return r.res.TrueSizes }
 // Names returns the estimator names, in instance order.
 func (r *MonitorResult) Names() []string { return r.res.Names }
 
+// check validates an instance index before it reaches the internal
+// slices, so a caller iterating the wrong roster gets a p2psize-
+// attributed message instead of a bare runtime bounds panic.
+func (r *MonitorResult) check(k int) {
+	if k < 0 || k >= len(r.res.Names) {
+		panic(fmt.Sprintf("p2psize: estimator index %d out of range [0, %d)", k, len(r.res.Names)))
+	}
+}
+
 // Estimates returns instance k's served (smoothed) values per sample;
-// NaN before its first success.
-func (r *MonitorResult) Estimates(k int) []float64 { return r.res.Smoothed[k] }
+// NaN before its first success. Panics if k is out of range.
+func (r *MonitorResult) Estimates(k int) []float64 {
+	r.check(k)
+	return r.res.Smoothed[k]
+}
 
 // RawEstimates returns instance k's raw values per sample; NaN on
-// failed estimations.
-func (r *MonitorResult) RawEstimates(k int) []float64 { return r.res.Raw[k] }
+// failed estimations. Panics if k is out of range.
+func (r *MonitorResult) RawEstimates(k int) []float64 {
+	r.check(k)
+	return r.res.Raw[k]
+}
 
-// Tracking returns instance k's summary metrics.
+// Tracking returns instance k's summary metrics. Panics if k is out of
+// range.
 func (r *MonitorResult) Tracking(k int) MonitorMetrics {
+	r.check(k)
 	return MonitorMetrics{
 		Name:            r.res.Names[k],
 		Cadence:         r.res.Cadences[k],
@@ -133,15 +149,6 @@ func (r *MonitorResult) String() string {
 			m.Name, m.Cadence, m.MAE, m.MAPE, m.Staleness, m.MsgsPerTimeUnit, m.Failures, m.Restarts)
 	}
 	return b.String()
-}
-
-// monitorAdapter lifts a public Estimator onto the internal estimator
-// contract so the monitor can drive it against overlay clones.
-type monitorAdapter struct{ e Estimator }
-
-func (a monitorAdapter) Name() string { return a.e.Name() }
-func (a monitorAdapter) Estimate(o *overlay.Network) (float64, error) {
-	return a.e.Estimate(&Network{net: o})
 }
 
 // RunMonitor replays the trace on a per-estimator clone of net and
@@ -171,7 +178,7 @@ func RunMonitor(net *Network, tr *Trace, estimators []Estimator, opts MonitorOpt
 	}
 	instances := make([]monitor.Instance, len(estimators))
 	for k, e := range estimators {
-		instances[k] = monitor.Instance{Estimator: monitorAdapter{e}}
+		instances[k] = monitor.Instance{Estimator: toCore(e)}
 		if len(opts.Cadences) != 0 {
 			instances[k].Cadence = opts.Cadences[k]
 		}

@@ -153,6 +153,16 @@ func (t *Trace) AddMassFailure(at, fraction float64, seed uint64) error {
 	return t.tr.AddMassFailure(at, fraction, xrand.New(seed))
 }
 
+// AddPartitionHeal splits the given fraction of the peers alive at
+// splitAt off the monitored component until healAt: from the majority's
+// point of view the victims depart at the split and the survivors among
+// them rejoin as fresh sessions at the heal. Victims whose own session
+// would have ended inside the partition window never come back. Seed
+// makes the victim draw deterministic.
+func (t *Trace) AddPartitionHeal(splitAt, healAt, fraction float64, seed uint64) error {
+	return t.tr.AddPartitionHeal(splitAt, healAt, fraction, xrand.New(seed))
+}
+
 // InitialNodes returns the population at time 0.
 func (t *Trace) InitialNodes() int { return t.tr.Initial }
 
