@@ -1,0 +1,167 @@
+package p2psize
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"p2psize/internal/cluster"
+	"p2psize/internal/registry"
+)
+
+// ClusterOptions configures RunCluster, the live-cluster runtime: real
+// node daemons on UDP sockets, wired into the requested topology, with
+// the estimator families running over actual packets and every live
+// estimate cross-validated against a simulated run on the identical
+// topology.
+type ClusterOptions struct {
+	// Nodes is the cluster size when bootstrapping in-process daemons.
+	// Ignored when Addrs is set. Required otherwise (>= 2).
+	Nodes int
+	// Addrs lists pre-started p2pnode daemons to drive instead of
+	// bootstrapping; the cluster size is len(Addrs).
+	Addrs []string
+	// Topology and MaxDegree shape the plan topology, as in NewNetwork.
+	Topology  Topology
+	MaxDegree int
+	// Seed fixes the plan construction and every estimator stream.
+	Seed uint64
+	// Estimators selects families by registry name/alias; empty means
+	// every transport-capable family of the default monitoring roster.
+	Estimators []string
+	// Samples is the estimations per family (0 = 3).
+	Samples int
+	// Cadence is the simulated time between samples (0 = 10).
+	Cadence float64
+	// Tolerance is the accepted relative live-vs-simulated divergence
+	// (0 = 0.05). A benign run is bit-equal, i.e. divergence 0; the
+	// tolerance absorbs liveness-driven membership changes.
+	Tolerance float64
+	// RTO and Retries tune the coordinator transport's retransmission
+	// (0 = defaults: 250ms, 4 retries).
+	RTO     time.Duration
+	Retries int
+	// Teardown sends a shutdown RPC to every daemon when the run ends.
+	Teardown bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ClusterFamily is one estimator family's live-vs-simulated outcome.
+type ClusterFamily struct {
+	// Name is the family's canonical registry name.
+	Name string
+	// Live and Sim are the per-sample raw estimates from the live
+	// cluster and the simulated oracle.
+	Live, Sim []float64
+	// MaxDivergence is max |live/sim - 1| over the samples.
+	MaxDivergence float64
+	// Messages is the live run's metered protocol traffic.
+	Messages uint64
+}
+
+// ClusterReport is the outcome of a live-cluster run.
+type ClusterReport struct {
+	// Nodes is the cluster size.
+	Nodes int
+	// Families holds the per-family cross-validation, roster order.
+	Families []ClusterFamily
+	// Tolerance is the applied divergence bound; WithinTolerance is
+	// whether every family respected it.
+	Tolerance       float64
+	WithinTolerance bool
+	// Departed counts daemons that stopped answering during the run.
+	Departed int
+}
+
+// RunCluster wires a cluster of real node daemons into the requested
+// topology and runs the selected estimator families over actual UDP
+// sockets, cross-validating each live estimate against a simulated run
+// on the identical topology. Snapshot-based families that cannot run
+// over a live transport are rejected when named explicitly and skipped
+// when implied by a roster selector.
+func RunCluster(opts ClusterOptions) (*ClusterReport, error) {
+	n := opts.Nodes
+	if len(opts.Addrs) > 0 {
+		n = len(opts.Addrs)
+	}
+	if n < 2 {
+		return nil, errors.New("p2psize: ClusterOptions needs Nodes >= 2 (or Addrs)")
+	}
+
+	descs, err := clusterRoster(opts.Estimators)
+	if err != nil {
+		return nil, err
+	}
+
+	// The plan topology is a plain NewNetwork build: same generators,
+	// same seed discipline as every simulated experiment.
+	plan, err := NewNetwork(NetworkOptions{
+		Nodes:     n,
+		Topology:  opts.Topology,
+		MaxDegree: opts.MaxDegree,
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep, err := cluster.Run(cluster.Config{
+		Plan:       plan.net.Graph(),
+		MaxDeg:     plan.net.MaxDegree(),
+		Addrs:      opts.Addrs,
+		Estimators: descs,
+		Seed:       opts.Seed,
+		Samples:    opts.Samples,
+		Cadence:    opts.Cadence,
+		Tolerance:  opts.Tolerance,
+		RTO:        opts.RTO,
+		Retries:    opts.Retries,
+		Teardown:   opts.Teardown,
+		Logf:       opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ClusterReport{
+		Nodes:           rep.Nodes,
+		Tolerance:       rep.Tolerance,
+		WithinTolerance: rep.Within,
+		Departed:        len(rep.Departed),
+	}
+	for _, f := range rep.Families {
+		out.Families = append(out.Families, ClusterFamily{
+			Name:          f.Name,
+			Live:          f.Live,
+			Sim:           f.Sim,
+			MaxDivergence: f.MaxDivergence,
+			Messages:      f.Messages,
+		})
+	}
+	return out, nil
+}
+
+// clusterRoster resolves estimator selectors for the live runtime:
+// roster selectors ("", "default", "all") silently keep only the
+// transport-capable families, while an explicitly named family that
+// cannot run live is an error the caller should see.
+func clusterRoster(names []string) ([]registry.Descriptor, error) {
+	explicit := len(names) > 0
+	descs, err := registry.Resolve(names)
+	if err != nil {
+		return nil, err
+	}
+	out := descs[:0]
+	for _, d := range descs {
+		if d.SupportsTransport {
+			out = append(out, d)
+		} else if explicit {
+			return nil, fmt.Errorf("p2psize: estimator %q cannot run over a live transport (snapshot-based)", d.Name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("p2psize: no transport-capable estimators selected")
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Command p2pnode runs one cluster daemon: a UDP endpoint that holds an
+// overlay membership assigned by a p2psize coordinator and absorbs the
+// estimator families' protocol traffic.
+//
+// Usage:
+//
+//	p2pnode [-addr 127.0.0.1:0] [-addr-file PATH]
+//
+// The bound address is printed on stdout (and written to -addr-file when
+// given) so scripts can collect ephemeral ports. The daemon exits on
+// SIGINT/SIGTERM or on the coordinator's shutdown RPC.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"p2psize/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "UDP address to listen on (port 0 = ephemeral)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file for script pickup")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "p2pnode: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+
+	node, err := cluster.NewNode(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2pnode: %v\n", err)
+		os.Exit(1)
+	}
+	defer node.Close()
+
+	fmt.Printf("p2pnode listening on %s\n", node.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(node.Addr()+"\n"), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "p2pnode: write -addr-file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-node.Done():
+		fmt.Printf("p2pnode %d: shutdown RPC received\n", node.ID())
+	case s := <-sig:
+		fmt.Printf("p2pnode %d: %v\n", node.ID(), s)
+	}
+	fmt.Printf("p2pnode %d: absorbed %d protocol messages\n", node.ID(), node.Received())
+}

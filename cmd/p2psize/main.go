@@ -70,7 +70,12 @@ func main() {
 
 		estSel = flag.String("estimators", "", "select algorithms from the estimator registry (comma-separated names/aliases, \"all\", \"default\", or \"list\" to print the catalog); overrides -algo")
 
-		faults = flag.String("faults", "", "fault scenario every selected algorithm runs under, e.g. \"drop=0.05,delay=2x,lie=10@0.05\"; silent=/sybil= reshape the overlay, partition needs a trace timeline (use -trace partition)")
+		faults = flag.String("faults", "", "fault scenario every selected algorithm runs under, e.g. \"drop=0.05,delay=2x,lie=10@0.05\"; silent=/sybil= reshape the overlay, partition@lo-hi folds onto the -trace timeline")
+
+		clusterN     = flag.Int("cluster", 0, "live-cluster mode: bootstrap this many in-process node daemons on 127.0.0.1 and run the estimators over real UDP sockets")
+		clusterAddrs = flag.String("cluster-addrs", "", "live-cluster mode against pre-started p2pnode daemons: comma-separated addresses, or @FILE with one address per line")
+		tolerance    = flag.Float64("tolerance", 0, "live-cluster accepted relative live-vs-simulated divergence (0 = 0.05)")
+		teardown     = flag.Bool("teardown", false, "send a shutdown RPC to every daemon when the live-cluster run ends")
 
 		traceSpec = flag.String("trace", "", "monitor under churn: weibull | lognormal | exponential | pareto | diurnal | flashcrowd | partition, or a trace file (.json/.csv, optionally .gz)")
 		horizon   = flag.Float64("horizon", 1000, "trace duration in simulated time units (generated traces)")
@@ -113,14 +118,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if fopts.PartitionFrac > 0 {
-		fatal(fmt.Errorf("-faults: a partition needs a timeline to split and heal across; use -trace partition (or cmd/figures -only robustness-partition)"))
+	clusterMode := *clusterN > 0 || *clusterAddrs != ""
+	if err := validateModes(clusterMode, *traceSpec, fopts); err != nil {
+		fatalUsage(err)
+	}
+
+	if clusterMode {
+		if err := runCluster(clusterOpts{
+			nodes: *clusterN, addrSpec: *clusterAddrs, topo: topo, maxDeg: *maxDeg,
+			estSel: *estSel, runs: *runs, seed: *seed,
+			tolerance: *tolerance, teardown: *teardown,
+		}); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *traceSpec != "" {
-		if fopts.SybilFrac > 0 {
-			fatal(fmt.Errorf("-faults: sybil inflation conflicts with the trace's population accounting in monitoring mode; use cmd/figures -only robustness-adversary"))
-		}
 		baseCadence, perCadence, err := registry.ParseCadenceSpec(*cadence, 10)
 		if err != nil {
 			fatal(err)
@@ -257,13 +271,13 @@ type estimatorSpec struct {
 
 // listEstimators prints the registry catalog (-estimators list).
 func listEstimators() {
-	fmt.Printf("%-28s %-22s %-9s %-8s %s\n", "name (aliases)", "class", "dynamic", "monitor", "summary")
+	fmt.Printf("%-28s %-22s %-9s %-8s %-6s %s\n", "name (aliases)", "class", "dynamic", "monitor", "live", "summary")
 	for _, in := range p2psize.Estimators() {
 		name := in.Name
 		if len(in.Aliases) > 0 {
 			name += " (" + strings.Join(in.Aliases, ", ") + ")"
 		}
-		fmt.Printf("%-28s %-22s %-9v %-8v %s\n", name, in.Class, in.SupportsDynamic, in.SupportsMonitoring, in.Summary)
+		fmt.Printf("%-28s %-22s %-9v %-8v %-6v %s\n", name, in.Class, in.SupportsDynamic, in.SupportsMonitoring, in.SupportsTransport, in.Summary)
 	}
 	fmt.Printf("\ndefault roster: %s\n", strings.Join(p2psize.DefaultEstimators(), ", "))
 }
@@ -411,7 +425,30 @@ func formatVals(vals []float64) string {
 	return strings.Join(parts, " ")
 }
 
+// validateModes is the single chokepoint for mutually exclusive mode
+// combinations: every flag pairing the command cannot honor is rejected
+// here, before any work starts, through one usage-error path.
+func validateModes(clusterMode bool, traceSpec string, f p2psize.FaultOptions) error {
+	switch {
+	case clusterMode && traceSpec != "":
+		return fmt.Errorf("-cluster and -trace are mutually exclusive: a live cluster's membership is owned by the daemons, not a replayed churn trace")
+	case clusterMode && f.Enabled():
+		return fmt.Errorf("-cluster runs the benign live protocol; fault scenarios are simulation-only (use -faults without -cluster, or cmd/figures -only robustness-*)")
+	case traceSpec == "" && f.PartitionFrac > 0:
+		return fmt.Errorf("-faults: a partition needs a timeline to split and heal across; add -trace (the partition@lo-hi window folds onto any trace workload)")
+	case traceSpec != "" && f.SybilFrac > 0:
+		return fmt.Errorf("-faults: sybil inflation conflicts with the trace's population accounting in monitoring mode; use cmd/figures -only robustness-adversary")
+	}
+	return nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "p2psize:", err)
 	os.Exit(1)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintln(os.Stderr, "p2psize:", err)
+	fmt.Fprintln(os.Stderr, "run p2psize -h for usage")
+	os.Exit(2)
 }

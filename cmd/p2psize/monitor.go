@@ -34,10 +34,10 @@ type monitorOpts struct {
 	seed      uint64
 	workers   int
 	// faults is the -faults scenario; message-level faults are already
-	// baked into the specs, only the overlay surgery (silent peers) is
-	// applied here. Sybil inflation and partitions are rejected upstream
-	// (the former conflicts with the trace's population accounting, the
-	// latter is a trace workload of its own: -trace partition).
+	// baked into the specs. Applied here: overlay surgery (silent peers)
+	// and partition@lo-hi clauses, which fold onto the trace timeline
+	// whatever the workload. Sybil inflation is rejected upstream (it
+	// conflicts with the trace's population accounting).
 	faults p2psize.FaultOptions
 }
 
@@ -91,8 +91,13 @@ func buildTrace(o monitorOpts) (*p2psize.Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Half the peers split off the monitored component for the middle
-		// fifth of the horizon, then the survivors rejoin.
+		// Canned window: half the peers split off the monitored component
+		// for the middle fifth of the horizon, then the survivors rejoin.
+		// A -faults partition@lo-hi clause overrides it (folded onto the
+		// trace by runMonitor, like on any other workload).
+		if o.faults.PartitionFrac > 0 {
+			return tr, nil
+		}
 		if err := tr.AddPartitionHeal(0.4*o.horizon, 0.6*o.horizon, 0.5, o.seed+1001); err != nil {
 			return nil, err
 		}
@@ -120,6 +125,18 @@ func runMonitor(o monitorOpts, specs []estimatorSpec) error {
 	tr, err := buildTrace(o)
 	if err != nil {
 		return err
+	}
+	// A partition fault clause composes onto ANY trace workload (generated
+	// or loaded): the spec's lo-hi window is relative to the trace's own
+	// horizon. Folded before -save-trace so the written trace is the one
+	// that actually ran.
+	if f := o.faults; f.PartitionFrac > 0 {
+		h := tr.Horizon()
+		if err := tr.AddPartitionHeal(f.PartitionLo*h, f.PartitionHi*h, f.PartitionFrac, o.seed+1004); err != nil {
+			return err
+		}
+		fmt.Printf("partition folded onto trace %q: %.0f%% of peers split at t=%g, heal at t=%g\n",
+			tr.Name(), f.PartitionFrac*100, f.PartitionLo*h, f.PartitionHi*h)
 	}
 	pol, err := parsePolicy(o.policy)
 	if err != nil {

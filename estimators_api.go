@@ -34,6 +34,10 @@ type EstimatorInfo struct {
 	// SupportsMonitoring marks families the continuous monitor may
 	// sample.
 	SupportsMonitoring bool
+	// SupportsTransport marks families whose estimates stay sound when
+	// the overlay's sends are carried by a real transport — the families
+	// RunCluster may drive.
+	SupportsTransport bool
 }
 
 // Estimators returns every registered estimator family, built-ins and
@@ -50,6 +54,7 @@ func Estimators() []EstimatorInfo {
 			CostHint:           d.CostHint,
 			SupportsDynamic:    d.SupportsDynamic,
 			SupportsMonitoring: d.SupportsMonitoring,
+			SupportsTransport:  d.SupportsTransport,
 		}
 	}
 	return out

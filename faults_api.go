@@ -49,6 +49,12 @@ type FaultOptions struct {
 	SilentFrac float64
 	// SybilFrac inflates the overlay with SybilFrac × N phantom peers.
 	SybilFrac float64
+	// NATFrac is the fraction of peers behind asymmetric (NAT-limited)
+	// connectivity: inbound requests to them fail while their own
+	// outbound sends still work. A message-level fault, enforced by the
+	// same injector as Drop (the protocols consult the fated set for the
+	// peers they target).
+	NATFrac float64
 }
 
 func (f FaultOptions) spec() fault.Spec {
@@ -63,6 +69,7 @@ func (f FaultOptions) spec() fault.Spec {
 		LieFrac:       f.LieFrac,
 		SilentFrac:    f.SilentFrac,
 		SybilFrac:     f.SybilFrac,
+		NATFrac:       f.NATFrac,
 	}
 }
 
@@ -78,6 +85,7 @@ func faultOptions(s fault.Spec) FaultOptions {
 		LieFrac:       s.LieFrac,
 		SilentFrac:    s.SilentFrac,
 		SybilFrac:     s.SybilFrac,
+		NATFrac:       s.NATFrac,
 	}
 }
 
@@ -106,6 +114,7 @@ func (f FaultOptions) String() string { return f.spec().String() }
 //	lie=10@0.05          5% of peers scale reported sums by 10
 //	silent=0.1           10% of peers stop responding without leaving
 //	sybil=0.2            20% phantom peers join the overlay
+//	nat=0.2              20% of peers unreachable for inbound requests
 //
 // An empty spec returns the benign zero FaultOptions; repeated keys are
 // rejected.

@@ -245,6 +245,18 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		}
 		return fate
 	}
+	// Asymmetric (NAT-limited) connectivity folds into the push fate: a
+	// push to a fated target is sent — and metered — but lost at the
+	// NAT, so the exchange never happens (the pull direction is exempt:
+	// it answers a contact the initiator opened, riding the established
+	// path). Pure salted-hash consultation: no draws, so benign and
+	// NAT-free streams are untouched.
+	natFate := func(v graph.NodeID, fate uint8) uint8 {
+		if p.pol != nil && p.pol.Unreachable(v) {
+			fate |= fatePushLost
+		}
+		return fate
+	}
 
 	if shards == 1 {
 		rng := xrand.NewStream(roundSeed, 0)
@@ -255,7 +267,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
-			fate := drawFate(rng)
+			fate := natFate(v, drawFate(rng))
 			net.Send(metrics.KindPush)
 			if fate&fatePushLost == 0 {
 				net.Send(metrics.KindPull)
@@ -301,7 +313,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
-			fate := drawFate(rng)
+			fate := natFate(v, drawFate(rng))
 			sh.pairs++
 			if fate&fatePushLost == 0 {
 				sh.pulls++

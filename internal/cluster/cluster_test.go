@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/registry"
+	"p2psize/internal/transport"
+	"p2psize/internal/xrand"
+)
+
+// newTestClient opens a coordinator-style UDP endpoint with the daemon
+// bound as peer 0.
+func newTestClient(daemonAddr string) (*transport.UDP, error) {
+	cl, err := transport.NewUDP(transport.UDPConfig{Addr: "127.0.0.1:0", Self: graph.None})
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.SetPeer(0, daemonAddr); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+func roster8(t *testing.T) []registry.Descriptor {
+	t.Helper()
+	ds, err := registry.Resolve([]string{"samplecollide", "hopssampling", "aggregation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestLiveVsSimulatedAgreement is the runtime's headline assertion: an
+// 8-node live cluster over real UDP sockets produces, for every family,
+// estimates that agree with a simulated run on the identical topology
+// within tolerance. With no daemon failures the agreement is exact —
+// the transport seam never feeds back into estimator arithmetic — so
+// the observed divergence must be zero, well inside any tolerance.
+func TestLiveVsSimulatedAgreement(t *testing.T) {
+	plan := graph.Heterogeneous(8, 4, xrand.New(7))
+	rep, err := Run(Config{
+		Plan:       plan,
+		MaxDeg:     4,
+		Estimators: roster8(t),
+		Seed:       11,
+		Samples:    2,
+		Tolerance:  0.05,
+		Teardown:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 8 {
+		t.Fatalf("nodes = %d, want 8", rep.Nodes)
+	}
+	if !rep.Within {
+		t.Fatalf("live run diverged beyond tolerance: %+v", rep.Families)
+	}
+	if len(rep.Departed) != 0 {
+		t.Fatalf("daemons departed in a benign run: %v", rep.Departed)
+	}
+	for _, f := range rep.Families {
+		if len(f.Live) != 2 || len(f.Sim) != 2 {
+			t.Fatalf("%s: %d live / %d sim samples, want 2", f.Name, len(f.Live), len(f.Sim))
+		}
+		if f.MaxDivergence != 0 {
+			t.Fatalf("%s: divergence %g, want exact agreement (live %v vs sim %v)",
+				f.Name, f.MaxDivergence, f.Live, f.Sim)
+		}
+		for i := range f.Live {
+			if math.IsNaN(f.Live[i]) {
+				t.Fatalf("%s: live sample %d failed", f.Name, i)
+			}
+		}
+	}
+	// The protocol traffic actually crossed the coordinator's socket.
+	if rep.Transport.Delivered == 0 {
+		t.Fatalf("transport stats = %+v, want delivered traffic", rep.Transport)
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	plan := graph.Heterogeneous(4, 3, xrand.New(1))
+	roster := roster8(t)
+
+	if _, err := Run(Config{Estimators: roster}); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+	if _, err := Run(Config{Plan: plan}); err == nil {
+		t.Fatal("empty roster accepted")
+	}
+	if _, err := Run(Config{Plan: plan, Estimators: roster, Addrs: []string{"127.0.0.1:1"}}); err == nil ||
+		!strings.Contains(err.Error(), "addresses") {
+		t.Fatal("address/plan size mismatch accepted")
+	}
+	if d, ok := registry.Get("idspace"); ok {
+		if _, err := Run(Config{Plan: plan, Estimators: []registry.Descriptor{d}}); err == nil ||
+			!strings.Contains(err.Error(), "transport") {
+			t.Fatalf("snapshot-based family accepted into a live roster: %v", err)
+		}
+	}
+	sparse := graph.NewWithNodes(3)
+	sparse.RemoveNode(1)
+	if _, err := Run(Config{Plan: sparse, Estimators: roster}); err == nil {
+		t.Fatal("non-dense plan accepted")
+	}
+}
+
+// TestNodeControlPlane drives one daemon's RPC surface directly through
+// a second UDP endpoint, the way the coordinator does.
+func TestNodeControlPlane(t *testing.T) {
+	nd, err := NewNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	cl, err := newTestClient(nd.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if resp, err := cl.Request(0, "ping", nil); err != nil || string(resp) != "pong" {
+		t.Fatalf("ping = %q, %v", resp, err)
+	}
+	if _, err := cl.Request(0, "bogus", nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	assign := `{"id":3,"neighbors":[{"id":1,"addr":"127.0.0.1:9"},{"id":2,"addr":"127.0.0.1:10"}]}`
+	if _, err := cl.Request(0, "assign", []byte(assign)); err != nil {
+		t.Fatal(err)
+	}
+	if nd.ID() != 3 {
+		t.Fatalf("id = %d, want 3", nd.ID())
+	}
+	if _, err := cl.Request(0, "join", []byte(`{"id":5,"addr":"127.0.0.1:11"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Request(0, "leave", []byte(`{"id":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	nbs := nd.Neighbors()
+	if len(nbs) != 2 || nbs[0].ID != 2 || nbs[1].ID != 5 {
+		t.Fatalf("neighbors after join/leave = %+v, want [2 5]", nbs)
+	}
+	if _, err := cl.Request(0, "shutdown", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-nd.Done():
+	default:
+		t.Fatal("shutdown RPC did not close Done")
+	}
+}

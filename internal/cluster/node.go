@@ -1,0 +1,195 @@
+// Package cluster is the real-network runtime: node daemons that hold a
+// live overlay membership over UDP sockets, and a coordinator that
+// bootstraps a cluster, drives the registry's transport-capable
+// estimator families against it through internal/monitor, and
+// cross-validates every live estimate against a simulated run on the
+// identical topology.
+//
+// The paper's evaluation is simulation-only; this package is the step
+// from reproduction to deployment. The correctness argument is the
+// transport seam's: metering happens before delivery and delivery
+// errors never reach estimator arithmetic, so a benign live run is
+// bit-equal to the simulated oracle under equal seeds — divergence can
+// only enter through liveness-driven membership changes, which is
+// exactly what the coordinator's tolerance check bounds.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+	"p2psize/internal/transport"
+)
+
+// NeighborInfo is one entry of a node's neighbor table: the peer's
+// overlay ID and its transport address.
+type NeighborInfo struct {
+	ID   transport.NodeID `json:"id"`
+	Addr string           `json:"addr"`
+}
+
+// RPC payloads (JSON-encoded in Frame.Payload). The coordinator speaks
+// these ops; ping and shutdown carry no payload.
+type assignPayload struct {
+	// ID is the overlay ID the coordinator assigns to the daemon.
+	ID transport.NodeID `json:"id"`
+	// Neighbors is the daemon's full neighbor table per the plan topology.
+	Neighbors []NeighborInfo `json:"neighbors"`
+}
+
+type joinPayload struct {
+	ID   transport.NodeID `json:"id"`
+	Addr string           `json:"addr"`
+}
+
+type leavePayload struct {
+	ID transport.NodeID `json:"id"`
+}
+
+type neighborsPayload struct {
+	ID        transport.NodeID `json:"id"`
+	Neighbors []NeighborInfo   `json:"neighbors"`
+}
+
+// Node is one daemon: a UDP transport endpoint plus the neighbor
+// bookkeeping the coordinator's RPCs maintain. It serves the cluster
+// control plane (assign/join/leave/neighbors/ping/shutdown) and absorbs
+// the estimators' one-way protocol traffic, counting it per kind.
+type Node struct {
+	tr *transport.UDP
+
+	mu        sync.Mutex
+	id        transport.NodeID
+	neighbors map[transport.NodeID]string
+
+	received atomic.Uint64
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewNode opens a daemon on addr ("127.0.0.1:0" for an ephemeral port)
+// and starts serving. The overlay ID arrives later via the "assign" RPC.
+func NewNode(addr string) (*Node, error) {
+	n := &Node{
+		id:        graph.None,
+		neighbors: make(map[transport.NodeID]string),
+		done:      make(chan struct{}),
+	}
+	tr, err := transport.NewUDP(transport.UDPConfig{Addr: addr, Self: graph.None})
+	if err != nil {
+		return nil, err
+	}
+	n.tr = tr
+	tr.SetHandler(n)
+	return n, nil
+}
+
+// Addr returns the daemon's bound socket address.
+func (n *Node) Addr() string { return n.tr.LocalAddr() }
+
+// ID returns the assigned overlay ID (graph.None before assignment).
+func (n *Node) ID() transport.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.id
+}
+
+// Neighbors returns the current neighbor table, sorted by ID.
+func (n *Node) Neighbors() []NeighborInfo {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.neighborList()
+}
+
+// neighborList snapshots the table sorted by ID; callers hold n.mu.
+func (n *Node) neighborList() []NeighborInfo {
+	out := make([]NeighborInfo, 0, len(n.neighbors))
+	for id, addr := range n.neighbors {
+		out = append(out, NeighborInfo{ID: id, Addr: addr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Received returns how many one-way protocol messages landed here.
+func (n *Node) Received() uint64 { return n.received.Load() }
+
+// Done is closed when a shutdown RPC arrives, so a daemon process can
+// wait on it for graceful termination.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// Close releases the daemon's socket. Idempotent.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.done) })
+	return n.tr.Close()
+}
+
+// ServeOneway implements transport.Handler: protocol traffic is counted
+// and absorbed (the estimator arithmetic runs at the coordinator; the
+// daemons are the network it exercises).
+func (n *Node) ServeOneway(from transport.NodeID, kind metrics.Kind, count uint64) {
+	n.received.Add(count)
+}
+
+// ServeRequest implements transport.Handler: the cluster control plane.
+func (n *Node) ServeRequest(from transport.NodeID, op string, payload []byte) ([]byte, error) {
+	switch op {
+	case "ping":
+		return []byte("pong"), nil
+	case "assign":
+		var req assignPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("assign: %w", err)
+		}
+		n.mu.Lock()
+		n.id = req.ID
+		n.neighbors = make(map[transport.NodeID]string, len(req.Neighbors))
+		for _, nb := range req.Neighbors {
+			n.neighbors[nb.ID] = nb.Addr
+		}
+		n.mu.Unlock()
+		n.tr.SetSelf(req.ID)
+		for _, nb := range req.Neighbors {
+			if err := n.tr.SetPeer(nb.ID, nb.Addr); err != nil {
+				return nil, fmt.Errorf("assign: %w", err)
+			}
+		}
+		return nil, nil
+	case "join":
+		var req joinPayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("join: %w", err)
+		}
+		if err := n.tr.SetPeer(req.ID, req.Addr); err != nil {
+			return nil, fmt.Errorf("join: %w", err)
+		}
+		n.mu.Lock()
+		n.neighbors[req.ID] = req.Addr
+		n.mu.Unlock()
+		return nil, nil
+	case "leave":
+		var req leavePayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("leave: %w", err)
+		}
+		n.mu.Lock()
+		delete(n.neighbors, req.ID)
+		n.mu.Unlock()
+		return nil, nil
+	case "neighbors":
+		n.mu.Lock()
+		resp := neighborsPayload{ID: n.id, Neighbors: n.neighborList()}
+		n.mu.Unlock()
+		return json.Marshal(resp)
+	case "shutdown":
+		n.stopOnce.Do(func() { close(n.done) })
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", op)
+	}
+}

@@ -30,6 +30,13 @@
 // derived by hashing the (stable) node ID under a per-instance salt, so
 // joins and leaves need no maintenance and the family stays sound on a
 // churning overlay: it monitors, and pairs naturally with trace-ipfs.
+//
+// The family is deliberately oblivious to the nat= asymmetric-
+// connectivity fault: a peer's DHT records outlive its reachability, so
+// identifier-density estimates keep counting NAT-limited peers — the
+// record/liveness asymmetry the IPFS measurement study documents. The
+// robustness-nat scenario ranks it against the families whose probes
+// the NAT actually stops.
 package dhtext
 
 import (

@@ -99,6 +99,12 @@ type Params struct {
 	// grammar). The robustness-* experiments carry their own scenarios
 	// and ignore this. Part of the output, like Shards.
 	Faults fault.Spec
+	// Transport, when non-nil, carries every overlay's metered sends
+	// (see overlay.SetTransport). The seam is one-way — metering happens
+	// before delivery and delivery errors are ignored — so any transport
+	// must leave the output byte-identical to nil; the loopback-identity
+	// test pins exactly that. Deployment plumbing, never output.
+	Transport overlay.Transport
 }
 
 // Defaults returns the paper-scale parameters.
@@ -227,7 +233,11 @@ func Run(id string, p Params) (*Figure, error) {
 // graph with the given size, degree cap MaxDeg, on a seeded stream.
 func hetNet(n int, p Params, stream uint64) *overlay.Network {
 	rng := xrand.New(p.Seed + stream)
-	return overlay.New(graph.Heterogeneous(n, p.MaxDeg, rng), p.MaxDeg, nil)
+	net := overlay.New(graph.Heterogeneous(n, p.MaxDeg, rng), p.MaxDeg, nil)
+	if p.Transport != nil {
+		net.SetTransport(p.Transport)
+	}
+	return net
 }
 
 // estimator resolves a registry family for an experiment body; the
@@ -310,5 +320,9 @@ func splitWorkers(p Params, width int) (outer, inner int) {
 // scaleFreeNet builds the Fig 7/8 topology: Barabási–Albert with m = 3.
 func scaleFreeNet(n int, p Params, stream uint64) *overlay.Network {
 	rng := xrand.New(p.Seed + stream)
-	return overlay.New(graph.BarabasiAlbert(n, 3, rng), n, nil)
+	net := overlay.New(graph.BarabasiAlbert(n, 3, rng), n, nil)
+	if p.Transport != nil {
+		net.SetTransport(p.Transport)
+	}
+	return net
 }

@@ -43,7 +43,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18",
 		"perf-agg-seq", "perf-agg-shard", "perf-cyclon-seq", "perf-cyclon-shard",
 		"robustness-adversary", "robustness-delay", "robustness-drop",
-		"robustness-dup", "robustness-partition",
+		"robustness-dup", "robustness-nat", "robustness-partition",
 		"static-new", "table1",
 		"trace-diurnal", "trace-flashcrowd", "trace-ipfs", "trace-ipfs-all", "trace-weibull",
 	}

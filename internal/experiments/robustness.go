@@ -43,6 +43,15 @@ func init() {
 	register("robustness-adversary", robustness("robustness-adversary",
 		"All nine families against lying, silent and sybil peers",
 		fault.Spec{LieScale: 10, LieFrac: 0.05, SilentFrac: 0.10, SybilFrac: 0.15}))
+	// Asymmetric connectivity: 20% of the peers answer nothing inbound
+	// while still originating traffic — the NAT-limited population every
+	// deployed P2P network carries. Walk and poll families pay extra
+	// messages and lose reach; the structured dht family is oblivious
+	// (records outlive reachability); epidemic families leak mass on
+	// every push into the fated set.
+	register("robustness-nat", robustness("robustness-nat",
+		"All nine families with 20% of the peers NAT-unreachable for inbound requests",
+		fault.Spec{NATFrac: 0.2}))
 }
 
 func robustness(id, title string, spec fault.Spec) Runner {

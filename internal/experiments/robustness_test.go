@@ -6,7 +6,7 @@ import (
 
 var robustnessIDs = []string{
 	"robustness-drop", "robustness-delay", "robustness-dup",
-	"robustness-partition", "robustness-adversary",
+	"robustness-partition", "robustness-adversary", "robustness-nat",
 }
 
 func rankingsEqual(t *testing.T, a, b *Figure) {
@@ -74,6 +74,39 @@ func TestRobustnessShape(t *testing.T) {
 		if i > 0 && fig.Rankings[i].MAPE < fig.Rankings[i-1].MAPE {
 			t.Fatalf("rankings not sorted most-robust-first at %d: %+v", i, fig.Rankings)
 		}
+	}
+}
+
+// TestNATEnvelope pins the asymmetric-connectivity scenario's class
+// separation: the structured dht family is NAT-oblivious (identifier
+// records outlive reachability, so its density estimate barely moves),
+// the poll class loses the fated fifth of the population plus its
+// gossip tail, and the fire-and-forget epidemic class leaks mass on
+// every push into the fated set. The margins are wide at test scale.
+func TestNATEnvelope(t *testing.T) {
+	fig, err := Run("robustness-nat", determinismParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Ranking{}
+	for _, r := range fig.Rankings {
+		byName[r.Name] = r
+	}
+	dht, ok1 := byName["dht"]
+	poll, ok2 := byName["polling"]
+	ps, ok3 := byName["pushsum"]
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("families missing from rankings: %+v", fig.Rankings)
+	}
+	if dht.MAPE > 15 {
+		t.Fatalf("dht MAPE %.1f%% under nat, want NAT-oblivious (<= 15%%)", dht.MAPE)
+	}
+	if poll.MAPE < 10 {
+		t.Fatalf("polling MAPE %.1f%% under nat=0.2, want the unreached-fraction bias (>= 10%%)", poll.MAPE)
+	}
+	if ps.MAPE < 2*dht.MAPE {
+		t.Fatalf("push-sum MAPE %.1f%% vs dht %.1f%%: NAT did not degrade the epidemic class",
+			ps.MAPE, dht.MAPE)
 	}
 }
 

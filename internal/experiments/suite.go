@@ -122,7 +122,7 @@ var costHint = map[string]int{
 	"perf-cyclon-seq": 35, "perf-cyclon-shard": 35,
 	"fig02": 30, "fig04": 30, // 1M-node estimation runs
 	"robustness-drop": 30, "robustness-delay": 30, "robustness-dup": 30, // nine families × faulted runs
-	"robustness-partition": 30, "robustness-adversary": 30,
+	"robustness-partition": 30, "robustness-adversary": 30, "robustness-nat": 30,
 	"ext-cyclon": 25, "ext-walks": 20, "ext-delay": 20,
 	"table1": 15,
 }

@@ -86,6 +86,20 @@ func traceInstances(p Params, stream uint64) ([]monitor.Instance, error) {
 // roster member on its cadence under the given policy, and report
 // tracking series plus per-estimator metrics.
 func runTrace(id, title string, tr *trace.Trace, policy monitor.Policy, p Params, stream uint64) (*Figure, error) {
+	// A Params.Faults partition clause composes onto ANY trace workload:
+	// the spec's lo-hi window scales to the trace's own horizon. Folded
+	// onto a copy — callers may share one trace across experiments, and
+	// AddPartitionHeal rewrites the event list in place.
+	if f := p.Faults; f.PartitionFrac > 0 {
+		cp := *tr
+		cp.Events = append([]trace.Event(nil), tr.Events...)
+		if err := cp.AddPartitionHeal(f.PartitionLo*tr.Horizon, f.PartitionHi*tr.Horizon,
+			f.PartitionFrac, xrand.New(p.Seed+stream+2)); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		cp.Name += "+partition"
+		tr = &cp
+	}
 	net := hetNet(tr.Initial, p, stream)
 	ins, err := traceInstances(p, stream)
 	if err != nil {

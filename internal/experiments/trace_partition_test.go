@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"p2psize/internal/fault"
+)
+
+// TestTracePartitionFold pins the compose-onto-any-trace behavior of a
+// Params.Faults partition clause: the same weibull workload with
+// partition=0.5@40-60 folded in must (a) actually shrink the monitored
+// component during the window, (b) heal back after it, and (c) stay
+// byte-identical at every worker count like everything else.
+func TestTracePartitionFold(t *testing.T) {
+	spec, err := fault.ParseSpec("partition@40-60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := determinismParams(1)
+	p1.Faults = spec
+	base, err := Run("trace-weibull", p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8 := determinismParams(8)
+	p8.Faults = spec
+	par, err := Run("trace-weibull", p8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := figuresEqual(base, par); err != nil {
+		t.Fatalf("workers=1 vs workers=8 under folded partition: %v", err)
+	}
+
+	benign, err := Run("trace-weibull", determinismParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Series 0 is the real network size. Inside the window the partitioned
+	// run must sit well below the benign run (half the peers split off);
+	// near the end the gap must have closed to a small fraction (healed
+	// survivors rejoined, minus those whose sessions ended while away).
+	truthAt := func(f *Figure, frac float64) float64 {
+		s := f.Series[0]
+		target := frac * s.X[len(s.X)-1]
+		best, dist := 0, math.Inf(1)
+		for i, x := range s.X {
+			if d := math.Abs(x - target); d < dist {
+				best, dist = i, d
+			}
+		}
+		return s.Y[best]
+	}
+	mid, midBenign := truthAt(base, 0.5), truthAt(benign, 0.5)
+	if mid > 0.75*midBenign {
+		t.Fatalf("mid-window size %g vs benign %g: partition did not split the component", mid, midBenign)
+	}
+	end, endBenign := truthAt(base, 0.95), truthAt(benign, 0.95)
+	if end < 0.75*endBenign {
+		t.Fatalf("post-heal size %g vs benign %g: partition never healed", end, endBenign)
+	}
+}

@@ -158,14 +158,26 @@ func (inj *Injector) ReportScale(id overlay.NodeID) float64 {
 	if inj.spec.LieFrac <= 0 {
 		return 1
 	}
-	x := inj.liarSalt ^ (uint64(uint32(id)) + 0x9e3779b97f4a7c15)
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	x ^= x >> 31
-	if float64(x) < inj.spec.LieFrac*math.Ldexp(1, 64) {
+	if selected(id, inj.spec.LieFrac, inj.liarSalt) {
 		return inj.spec.LieScale
 	}
 	return 1
+}
+
+// natSaltTweak turns the liar salt into an independent NAT salt without
+// consuming an rng draw — drawing one would shift every fate stream of
+// every pre-existing scenario and break the frozen checksums.
+const natSaltTweak = 0xd1b54a32d192ed03
+
+// Unreachable implements overlay.FaultPolicy: whether the peer sits
+// behind NAT-limited connectivity (inbound requests fail, outbound still
+// works). The fated set is a stable salted-hash selection like the
+// liars, on an independent salt.
+func (inj *Injector) Unreachable(id overlay.NodeID) bool {
+	if inj.spec.NATFrac <= 0 {
+		return false
+	}
+	return selected(id, inj.spec.NATFrac, inj.liarSalt^natSaltTweak)
 }
 
 // binomial draws how many of n trials succeed with probability p:

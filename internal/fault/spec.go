@@ -65,15 +65,19 @@ type Spec struct {
 	// that join normally and answer protocols like honest nodes; error
 	// is judged against the honest population.
 	SybilFrac float64
+	// NATFrac is the fraction of peers behind asymmetric (NAT-limited)
+	// connectivity: inbound requests to them fail, while their own
+	// outbound sends still work. Selected by salted hash, like liars.
+	NATFrac float64
 }
 
 // Enabled reports whether the spec requests any fault at all.
 func (s Spec) Enabled() bool { return s != Spec{} }
 
 // MessageFaults reports whether the spec carries message-level faults
-// the Injector enforces (drop, delay, duplicate, lying).
+// the Injector enforces (drop, delay, duplicate, lying, NAT).
 func (s Spec) MessageFaults() bool {
-	return s.Drop > 0 || s.Dup > 0 || (s.DelayFactor > 0 && s.DelayFactor != 1) || s.LieFrac > 0
+	return s.Drop > 0 || s.Dup > 0 || (s.DelayFactor > 0 && s.DelayFactor != 1) || s.LieFrac > 0 || s.NATFrac > 0
 }
 
 // Validate checks field ranges; the zero value is valid.
@@ -99,6 +103,8 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("fault: silent fraction %g outside [0, 1]", s.SilentFrac)
 	case s.SybilFrac < 0 || s.SybilFrac > 1:
 		return fmt.Errorf("fault: sybil fraction %g outside [0, 1]", s.SybilFrac)
+	case s.NATFrac < 0 || s.NATFrac >= 1:
+		return fmt.Errorf("fault: nat fraction %g outside [0, 1)", s.NATFrac)
 	}
 	return nil
 }
@@ -129,6 +135,9 @@ func (s Spec) String() string {
 	if s.SybilFrac > 0 {
 		add("sybil=%g", s.SybilFrac)
 	}
+	if s.NATFrac > 0 {
+		add("nat=%g", s.NATFrac)
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -142,6 +151,7 @@ func (s Spec) String() string {
 //	lie=10@0.05          5% of peers scale reported sums by 10
 //	silent=0.1           10% of peers stop responding without leaving
 //	sybil=0.2            20% phantom peers join the overlay
+//	nat=0.2              20% of peers unreachable for inbound requests
 //
 // An empty spec returns the benign zero Spec. Repeating a key is
 // rejected — a pasted-together spec would otherwise silently measure a
@@ -164,7 +174,7 @@ func ParseSpec(spec string) (Spec, error) {
 		}
 		seen[key] = true
 		switch key {
-		case "drop", "dup", "silent", "sybil":
+		case "drop", "dup", "silent", "sybil", "nat":
 			v, err := parseProb(key, rest)
 			if err != nil {
 				return Spec{}, err
@@ -178,6 +188,8 @@ func ParseSpec(spec string) (Spec, error) {
 				s.SilentFrac = v
 			case "sybil":
 				s.SybilFrac = v
+			case "nat":
+				s.NATFrac = v
 			}
 		case "delay":
 			v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(rest), "x"), 64)
@@ -227,7 +239,7 @@ func ParseSpec(spec string) (Spec, error) {
 				s.LieFrac = fv
 			}
 		default:
-			return Spec{}, fmt.Errorf("fault: unknown key %q in spec %q (want drop, delay, dup, partition, lie, silent or sybil)", key, spec)
+			return Spec{}, fmt.Errorf("fault: unknown key %q in spec %q (want drop, delay, dup, partition, lie, silent, sybil or nat)", key, spec)
 		}
 	}
 	if err := s.Validate(); err != nil {

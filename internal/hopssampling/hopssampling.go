@@ -216,6 +216,14 @@ const maxActivations = 2
 // corrects the sender with one response message. The spread stops once
 // GossipUntil consecutive rounds infect no new node.
 func (e *Estimator) spread(net *overlay.Network, initiator graph.NodeID) int {
+	// Asymmetric (NAT-limited) connectivity: a gossip message to a fated
+	// peer is sent — and metered — but lost at the NAT, so the peer is
+	// never infected, never relays and never replies; the tail of
+	// unreached nodes grows by the fated fraction. The bidirectional
+	// correction below is exempt: it answers a contact the corrected
+	// sender itself initiated, so it rides the established path. Benign
+	// policies answer false with zero extra draws.
+	pol := net.FaultPolicy()
 	numIDs := net.Graph().NumIDs()
 	budget := make([]int8, numIDs) // remaining gossip rounds
 	acts := make([]int8, numIDs)   // activations consumed
@@ -252,7 +260,10 @@ func (e *Estimator) spread(net *overlay.Network, initiator graph.NodeID) int {
 				if !ok {
 					break
 				}
-				net.Send(metrics.KindGossipSpread)
+				net.SendTo(target, metrics.KindGossipSpread)
+				if pol != nil && pol.Unreachable(target) {
+					continue // sent, lost at the target's NAT
+				}
 				nd := h + 1
 				switch {
 				case !e.seen(target):
@@ -269,7 +280,7 @@ func (e *Estimator) spread(net *overlay.Network, initiator graph.NodeID) int {
 				case e.dist[target]+1 < h:
 					// Bidirectional link: the target corrects the sender
 					// with its better distance (one response message).
-					net.Send(metrics.KindGossipSpread)
+					net.SendTo(id, metrics.KindGossipSpread)
 					e.setDist(id, e.dist[target]+1, target)
 					arm(id)
 				}

@@ -333,6 +333,51 @@ func unionGrid(schedules [][]float64) []float64 {
 	return dedup
 }
 
+// resolveSchedules validates the instances and resolves each one's
+// cadence, smoothing policy and sample schedule over the horizon — the
+// shared front half of RunScheduled and RunLive.
+func resolveSchedules(instances []Instance, cfg Config, horizon float64) (cadences []float64, policies []Policy, schedules [][]float64, err error) {
+	if len(instances) == 0 {
+		return nil, nil, nil, errors.New("monitor: Run needs at least one estimator")
+	}
+	cadences = make([]float64, len(instances))
+	policies = make([]Policy, len(instances))
+	schedules = make([][]float64, len(instances))
+	for k, in := range instances {
+		if in.Estimator == nil {
+			return nil, nil, nil, fmt.Errorf("monitor: instance %d has a nil estimator", k)
+		}
+		c := in.Cadence
+		if c == 0 {
+			c = cfg.Cadence
+		}
+		// NaN passes every ordered comparison and Inf makes an empty
+		// schedule with a huge division result, so require a finite
+		// positive value explicitly (the same class of check
+		// trace.Validate applies to event times).
+		if !(c > 0) || math.IsInf(c, 1) {
+			return nil, nil, nil, fmt.Errorf("monitor: instance %d (%s) cadence %g must be positive and finite",
+				k, in.Estimator.Name(), c)
+		}
+		cadences[k] = c
+		sched, err := schedule(c, horizon)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		schedules[k] = sched
+		if len(schedules[k]) == 0 {
+			return nil, nil, nil, fmt.Errorf("monitor: instance %d (%s) cadence %g longer than the trace horizon %g",
+				k, in.Estimator.Name(), c, horizon)
+		}
+		if in.Policy != nil {
+			policies[k] = *in.Policy
+		} else {
+			policies[k] = cfg.Policy
+		}
+	}
+	return cadences, policies, schedules, nil
+}
+
 // RunScheduled replays the trace on a per-instance copy-on-write clone
 // of net (net is the shared immutable base; each clone pays only for
 // the churn it replays) and samples every instance on its own cadence.
@@ -349,43 +394,9 @@ func unionGrid(schedules [][]float64) []float64 {
 // message counts are merged into its counter in instance order. Output
 // is byte-identical at every worker count.
 func RunScheduled(instances []Instance, net *overlay.Network, tr *trace.Trace, cfg Config, newRNG func() *xrand.Rand, workers int) (*Result, error) {
-	if len(instances) == 0 {
-		return nil, errors.New("monitor: Run needs at least one estimator")
-	}
-	cadences := make([]float64, len(instances))
-	policies := make([]Policy, len(instances))
-	schedules := make([][]float64, len(instances))
-	for k, in := range instances {
-		if in.Estimator == nil {
-			return nil, fmt.Errorf("monitor: instance %d has a nil estimator", k)
-		}
-		c := in.Cadence
-		if c == 0 {
-			c = cfg.Cadence
-		}
-		// NaN passes every ordered comparison and Inf makes an empty
-		// schedule with a huge division result, so require a finite
-		// positive value explicitly (the same class of check
-		// trace.Validate applies to event times).
-		if !(c > 0) || math.IsInf(c, 1) {
-			return nil, fmt.Errorf("monitor: instance %d (%s) cadence %g must be positive and finite",
-				k, in.Estimator.Name(), c)
-		}
-		cadences[k] = c
-		sched, err := schedule(c, tr.Horizon)
-		if err != nil {
-			return nil, err
-		}
-		schedules[k] = sched
-		if len(schedules[k]) == 0 {
-			return nil, fmt.Errorf("monitor: instance %d (%s) cadence %g longer than the trace horizon %g",
-				k, in.Estimator.Name(), c, tr.Horizon)
-		}
-		if in.Policy != nil {
-			policies[k] = *in.Policy
-		} else {
-			policies[k] = cfg.Policy
-		}
+	cadences, policies, schedules, err := resolveSchedules(instances, cfg, tr.Horizon)
+	if err != nil {
+		return nil, err
 	}
 	grid := unionGrid(schedules)
 	type instOut struct {

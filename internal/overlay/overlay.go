@@ -40,6 +40,24 @@ type FaultPolicy interface {
 	// ReportScale is the factor by which the given peer misreports the
 	// values it sends (1 for honest peers).
 	ReportScale(id NodeID) float64
+	// Unreachable reports whether the peer sits behind asymmetric
+	// (NAT-limited) connectivity: inbound requests to it fail while its
+	// own outbound sends still work. Protocols consult it for the peers
+	// they target; the benign policy answers false for everyone.
+	Unreachable(id NodeID) bool
+}
+
+// Transport physically delivers metered messages. It is declared here —
+// rather than in the transport package that implements it — for the same
+// reason FaultPolicy is: the overlay needs no new dependency, and the
+// seam stays one-way. Send/SendN/SendTo meter first and then hand the
+// message to the transport; the delivery error is deliberately ignored
+// at this surface, so estimator arithmetic is identical whether the
+// bytes move in-process, over UDP, or not at all (delivery failures
+// surface on the transport's liveness channel and error counters
+// instead). A nil transport is the pure simulation.
+type Transport interface {
+	Deliver(to NodeID, kind metrics.Kind, count uint64) error
 }
 
 // Network is an overlay of live peers. It owns the message meter: all
@@ -50,6 +68,7 @@ type Network struct {
 	counter *metrics.Counter
 	maxDeg  int
 	policy  FaultPolicy
+	trans   Transport
 }
 
 // New wraps an existing topology into a Network with the given degree cap
@@ -76,7 +95,7 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 // instance its own clone so identical churn replays neither share graph
 // mutations nor race on the meter.
 func (n *Network) Clone() *Network {
-	return &Network{g: n.g.Clone(), counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+	return &Network{g: n.g.Clone(), counter: &metrics.Counter{}, maxDeg: n.maxDeg, trans: n.trans}
 }
 
 // CloneCOW returns a copy-on-write copy of the overlay with a fresh
@@ -87,7 +106,7 @@ func (n *Network) Clone() *Network {
 // the immutable base — it must not be mutated while clones are alive.
 // Clones are independent and may be mutated concurrently.
 func (n *Network) CloneCOW() *Network {
-	return &Network{g: n.g.CloneCOW(), counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+	return &Network{g: n.g.CloneCOW(), counter: &metrics.Counter{}, maxDeg: n.maxDeg, trans: n.trans}
 }
 
 // View returns a Network sharing n's topology but metering on a fresh
@@ -95,7 +114,7 @@ func (n *Network) CloneCOW() *Network {
 // per-run views keep the overhead accounting of each run exact and
 // race-free. The view must not be mutated while shared.
 func (n *Network) View() *Network {
-	return &Network{g: n.g, counter: &metrics.Counter{}, maxDeg: n.maxDeg}
+	return &Network{g: n.g, counter: &metrics.Counter{}, maxDeg: n.maxDeg, trans: n.trans}
 }
 
 // Counter returns the message meter.
@@ -117,21 +136,54 @@ func (n *Network) SetFaultPolicy(p FaultPolicy) { n.policy = p }
 // overlay.
 func (n *Network) FaultPolicy() FaultPolicy { return n.policy }
 
+// SetTransport installs (or, with nil, removes) the physical transport
+// that Send/SendN/SendTo hand metered messages to. Unlike the fault
+// policy — which is per run or per instance — the transport is a
+// deployment property of the overlay, so clones, COW clones and views
+// DO inherit it: the parallel harnesses fan instances over the same
+// wire.
+func (n *Network) SetTransport(t Transport) { n.trans = t }
+
+// Transport returns the installed transport, or nil on a pure
+// simulation.
+func (n *Network) Transport() Transport { return n.trans }
+
 // Send meters one message of the given kind, plus whatever faults the
-// installed policy charges for it.
+// installed policy charges for it, then hands it to the transport (if
+// any) as an unaddressed delivery.
 func (n *Network) Send(kind metrics.Kind) {
 	n.counter.Inc(kind)
 	if n.policy != nil {
 		n.counter.Add(kind, n.policy.OnSend(kind, 1))
 	}
+	if n.trans != nil {
+		_ = n.trans.Deliver(graph.None, kind, 1)
+	}
+}
+
+// SendTo meters one message of the given kind addressed to a peer. The
+// metering is identical to Send — the address only matters to the
+// transport, which can route the frame to the peer's real socket.
+func (n *Network) SendTo(to NodeID, kind metrics.Kind) {
+	n.counter.Inc(kind)
+	if n.policy != nil {
+		n.counter.Add(kind, n.policy.OnSend(kind, 1))
+	}
+	if n.trans != nil {
+		_ = n.trans.Deliver(to, kind, 1)
+	}
 }
 
 // SendN meters count messages of the given kind, plus whatever faults
-// the installed policy charges for them.
+// the installed policy charges for them, then hands the batch to the
+// transport (if any) as one unaddressed delivery.
 func (n *Network) SendN(kind metrics.Kind, count uint64) {
 	n.counter.Add(kind, count)
 	if n.policy != nil && count > 0 {
 		n.counter.Add(kind, n.policy.OnSend(kind, count))
+	}
+	if n.trans != nil && count > 0 {
+		_ = n.trans.Deliver(graph.None, kind, count)
 	}
 }
 

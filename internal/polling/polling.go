@@ -95,6 +95,13 @@ func (e *Estimator) EstimateFrom(net *overlay.Network, initiator graph.NodeID) (
 	// messages within the initiator's component and records hop
 	// distances for reply routing.
 	g := net.Graph()
+	// Asymmetric (NAT-limited) connectivity: a probe forwarded to a
+	// fated peer is sent — and metered — but lost at the NAT, so the
+	// peer never learns of the poll, never forwards and never replies
+	// (dist stays -1). Replies are exempt: they retrace the flood path
+	// the initiator's probe established. Benign policies answer false
+	// with zero extra draws.
+	pol := net.FaultPolicy()
 	dist := make([]int32, g.NumIDs())
 	for i := range dist {
 		dist[i] = -1
@@ -105,7 +112,10 @@ func (e *Estimator) EstimateFrom(net *overlay.Network, initiator graph.NodeID) (
 		u := queue[0]
 		queue = queue[1:]
 		for _, v := range g.Neighbors(u) {
-			net.Send(metrics.KindGossipSpread)
+			net.SendTo(v, metrics.KindGossipSpread)
+			if pol != nil && pol.Unreachable(v) {
+				continue // sent, lost at the target's NAT
+			}
 			if dist[v] == -1 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

@@ -233,6 +233,13 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	if pol != nil {
 		dropP = pol.DropProb()
 	}
+	// Asymmetric (NAT-limited) connectivity: a push to a fated target is
+	// sent — and metered — but lost at the NAT, the same evaporation as
+	// a dropped push. Pure salted-hash consultation: no draws, so benign
+	// and NAT-free streams are untouched.
+	natLost := func(v graph.NodeID) bool {
+		return pol != nil && pol.Unreachable(v)
+	}
 
 	if shards == 1 {
 		rng := xrand.NewStream(roundSeed, 0)
@@ -243,7 +250,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
-			lost := dropP > 0 && rng.Bernoulli(dropP)
+			lost := (dropP > 0 && rng.Bernoulli(dropP)) || natLost(v)
 			net.Send(metrics.KindPush)
 			if p.participant(u) {
 				s, w := p.halve(u)
@@ -294,7 +301,7 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 			if !ok {
 				continue
 			}
-			lost := dropP > 0 && rng.Bernoulli(dropP)
+			lost := (dropP > 0 && rng.Bernoulli(dropP)) || natLost(v)
 			sh.msgs++
 			if !p.participant(u) {
 				continue

@@ -37,6 +37,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		InDefaultSet:       true,
 		StreamOffset:       10,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
@@ -63,6 +64,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		InDefaultSet:       true,
 		StreamOffset:       11,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
@@ -83,6 +85,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		InDefaultSet:       true,
 		StreamOffset:       12,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
@@ -105,6 +108,7 @@ func init() {
 		CadenceHint:        10,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		InDefaultSet:       true,
 		StreamOffset:       13,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
@@ -158,6 +162,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		StreamOffset:       15,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			cfg := polling.Default()
@@ -179,6 +184,7 @@ func init() {
 		CadenceHint:        10,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		StreamOffset:       16,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			if o.Shards < 0 || o.Shards > parallel.MaxConfigShards {
@@ -204,6 +210,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		StreamOffset:       17,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			cfg := capturerecapture.Default()
@@ -228,6 +235,7 @@ func init() {
 		CadenceHint:        1,
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
+		SupportsTransport:  true,
 		StreamOffset:       18,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			cfg := dhtext.Default()

@@ -111,6 +111,13 @@ type Descriptor struct {
 	// sample; implies SupportsDynamic-style robustness plus a bounded
 	// per-estimate cost.
 	SupportsMonitoring bool
+	// SupportsTransport marks families whose estimates stay sound when
+	// the overlay's metered sends are carried by a real transport (the
+	// live-cluster runtime). Snapshot-based families that precompute
+	// state from a frozen membership view (id-density) do not qualify:
+	// a live cluster's membership is owned by the daemons, not the
+	// snapshot.
+	SupportsTransport bool
 	// InDefaultSet marks the paper's head-to-head monitoring roster
 	// (Sample&Collide, Random Tour, HopsSampling, Aggregation).
 	InDefaultSet bool

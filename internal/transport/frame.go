@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"p2psize/internal/graph"
+	"p2psize/internal/metrics"
+)
+
+// Wire format: a 4-byte big-endian body length followed by a JSON-encoded
+// Frame. The prefix makes the same codec usable over streams and lets a
+// datagram receiver reject truncated reads before touching the decoder.
+// JSON (not gob) keeps frames inspectable with tcpdump and stable across
+// Go versions; at the sizes this protocol moves (control RPCs and
+// per-hop notifications) codec throughput is irrelevant.
+
+// frameVersion is the wire version; receivers reject anything else.
+const frameVersion = 1
+
+// MaxFrame bounds the encoded frame body. It is far above anything the
+// protocols send and far below the point where a UDP datagram would
+// fragment into uselessness; oversized frames are rejected on both ends.
+const MaxFrame = 64 << 10
+
+// headerLen is the length-prefix size in bytes.
+const headerLen = 4
+
+// Frame types.
+const (
+	// TypeOneway is a fire-and-forget protocol message (the Deliver path).
+	TypeOneway uint8 = iota
+	// TypeRequest opens a request/response exchange.
+	TypeRequest
+	// TypeResponse answers the request with the same Seq.
+	TypeResponse
+)
+
+// Frame is one transport message.
+type Frame struct {
+	// Version is the wire version (frameVersion).
+	Version uint8 `json:"v"`
+	// Type is TypeOneway, TypeRequest or TypeResponse.
+	Type uint8 `json:"t"`
+	// Op names the RPC for request/response frames ("join", "neighbors",
+	// "ping", ...); empty for oneway protocol traffic.
+	Op string `json:"op,omitempty"`
+	// Kind is the metered message kind of oneway traffic.
+	Kind metrics.Kind `json:"k,omitempty"`
+	// Seq matches a response to its request; oneway frames carry the
+	// sender's running sequence for duplicate suppression.
+	Seq uint64 `json:"seq"`
+	// From and To are overlay node IDs (graph.None when unaddressed or
+	// not yet assigned).
+	From NodeID `json:"from"`
+	// To is the destination overlay ID.
+	To NodeID `json:"to"`
+	// Count is how many protocol messages this frame carries: SendN
+	// batches coalesce into one frame with Count > 1 instead of flooding
+	// the wire with N datagrams.
+	Count uint64 `json:"n,omitempty"`
+	// Payload is the op-specific request or response body.
+	Payload []byte `json:"p,omitempty"`
+	// Err carries a response's application error ("" for success).
+	Err string `json:"err,omitempty"`
+}
+
+// Frame decode errors.
+var (
+	// ErrFrameTruncated is returned when the buffer ends before the
+	// length prefix or the body it promises.
+	ErrFrameTruncated = errors.New("transport: truncated frame")
+	// ErrFrameOversized is returned when the length prefix exceeds
+	// MaxFrame.
+	ErrFrameOversized = errors.New("transport: oversized frame")
+)
+
+// EncodeFrame renders the frame in wire format. It rejects frames whose
+// body would exceed MaxFrame.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	f.Version = frameVersion
+	body, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("transport: encode frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return nil, fmt.Errorf("%w: body %d > %d", ErrFrameOversized, len(body), MaxFrame)
+	}
+	out := make([]byte, headerLen+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	copy(out[headerLen:], body)
+	return out, nil
+}
+
+// DecodeFrame parses one wire-format frame from buf and returns it with
+// the number of bytes consumed, so stream receivers can iterate. A short
+// buffer returns ErrFrameTruncated, a length prefix beyond MaxFrame
+// returns ErrFrameOversized, and anything the JSON layer rejects (or an
+// unknown version) is an error too — a malformed datagram must never
+// take the receive loop down.
+func DecodeFrame(buf []byte) (*Frame, int, error) {
+	if len(buf) < headerLen {
+		return nil, 0, fmt.Errorf("%w: %d header bytes", ErrFrameTruncated, len(buf))
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > MaxFrame {
+		return nil, 0, fmt.Errorf("%w: prefix %d > %d", ErrFrameOversized, n, MaxFrame)
+	}
+	if uint32(len(buf)-headerLen) < n {
+		return nil, 0, fmt.Errorf("%w: body %d of %d bytes", ErrFrameTruncated, len(buf)-headerLen, n)
+	}
+	var f Frame
+	if err := json.Unmarshal(buf[headerLen:headerLen+int(n)], &f); err != nil {
+		return nil, 0, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	if f.Version != frameVersion {
+		return nil, 0, fmt.Errorf("transport: unknown frame version %d", f.Version)
+	}
+	if f.Type > TypeResponse {
+		return nil, 0, fmt.Errorf("transport: unknown frame type %d", f.Type)
+	}
+	return &f, headerLen + int(n), nil
+}
+
+// onewayFrame builds a Deliver frame.
+func onewayFrame(from, to NodeID, kind metrics.Kind, count, seq uint64) *Frame {
+	return &Frame{Type: TypeOneway, Kind: kind, Seq: seq, From: from, To: to, Count: count}
+}
+
+// requestFrame builds a Request frame.
+func requestFrame(from, to NodeID, op string, payload []byte, seq uint64) *Frame {
+	return &Frame{Type: TypeRequest, Op: op, Seq: seq, From: from, To: to, Payload: payload}
+}
+
+// responseFrame builds the response to req, echoing its Seq and Op.
+func responseFrame(req *Frame, from NodeID, payload []byte, err error) *Frame {
+	f := &Frame{Type: TypeResponse, Op: req.Op, Seq: req.Seq, From: from, To: req.From, Payload: payload}
+	if err != nil {
+		f.Err = err.Error()
+	}
+	return f
+}
+
+// noneID is the unaddressed destination.
+const noneID = graph.None

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"p2psize/internal/metrics"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []*Frame{
+		onewayFrame(3, 7, metrics.KindPush, 42, 9),
+		requestFrame(noneID, 0, "assign", []byte(`{"id":4}`), 1),
+		responseFrame(&Frame{Op: "ping", Seq: 17, From: 2}, 5, []byte("pong"), nil),
+		responseFrame(&Frame{Op: "join", Seq: 3, From: 1}, 6, nil, errors.New("nope")),
+	}
+	for _, f := range cases {
+		buf, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", f, err)
+		}
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Type != f.Type || got.Op != f.Op || got.Seq != f.Seq ||
+			got.From != f.From || got.To != f.To || got.Kind != f.Kind ||
+			got.Count != f.Count || got.Err != f.Err || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip mismatch:\n  sent %+v\n  got  %+v", f, got)
+		}
+	}
+}
+
+func TestFrameRoundTripConcatenated(t *testing.T) {
+	// Stream receivers decode frame-by-frame from one buffer; the
+	// consumed-byte count must walk the concatenation exactly.
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		b, err := EncodeFrame(onewayFrame(NodeID(i), NodeID(i+1), metrics.KindWalk, uint64(i+1), uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, b...)
+	}
+	for i := 0; i < 3; i++ {
+		f, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.From != NodeID(i) || f.Count != uint64(i+1) {
+			t.Fatalf("frame %d decoded as %+v", i, f)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes", len(buf))
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	full, err := EncodeFrame(requestFrame(1, 2, "ping", nil, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every proper prefix must fail with ErrFrameTruncated — never panic,
+	// never decode garbage.
+	for n := 0; n < len(full); n++ {
+		if _, _, err := DecodeFrame(full[:n]); !errors.Is(err, ErrFrameTruncated) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrFrameTruncated", n, err)
+		}
+	}
+}
+
+func TestDecodeFrameOversized(t *testing.T) {
+	buf := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(buf, MaxFrame+1)
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrFrameOversized) {
+		t.Fatalf("got %v, want ErrFrameOversized", err)
+	}
+}
+
+func TestEncodeFrameOversized(t *testing.T) {
+	f := requestFrame(1, 2, "blob", bytes.Repeat([]byte("x"), MaxFrame+1), 1)
+	if _, err := EncodeFrame(f); !errors.Is(err, ErrFrameOversized) {
+		t.Fatalf("got %v, want ErrFrameOversized", err)
+	}
+}
+
+func TestDecodeFrameBadVersionAndType(t *testing.T) {
+	for _, body := range []string{
+		`{"v":2,"t":0,"seq":1,"from":0,"to":1}`, // future version
+		`{"v":1,"t":9,"seq":1,"from":0,"to":1}`, // unknown type
+		`{not json`,
+	} {
+		buf := make([]byte, headerLen+len(body))
+		binary.BigEndian.PutUint32(buf, uint32(len(body)))
+		copy(buf[headerLen:], body)
+		if _, _, err := DecodeFrame(buf); err == nil {
+			t.Fatalf("body %q decoded without error", body)
+		}
+	}
+}
+
+// FuzzDecodeFrame asserts the decoder's hard contract: arbitrary bytes
+// never panic, and whatever decodes re-encodes to something that decodes
+// to the same frame.
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := EncodeFrame(onewayFrame(1, 2, metrics.KindGossipSpread, 3, 4))
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < headerLen || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		fr2, _, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.Op != fr.Op || fr2.Seq != fr.Seq ||
+			fr2.From != fr.From || fr2.To != fr.To || fr2.Count != fr.Count {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", fr, fr2)
+		}
+	})
+}

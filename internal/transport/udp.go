@@ -1,0 +1,417 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2psize/internal/metrics"
+)
+
+// Default retransmission parameters. The RTO mirrors the fault layer's
+// pricing model: a lost request costs one timeout and is resent until it
+// lands or the sender gives the peer up for dead (the fault.Injector
+// prices exactly this loop as rto = 3×q99 of the delay distribution; on
+// a real socket the delay distribution is the network's, so the timeout
+// is a configured constant instead of a modeled quantile).
+const (
+	defaultRTO     = 250 * time.Millisecond
+	defaultRetries = 4
+)
+
+// ErrPeerUnreachable is returned when a request exhausts its
+// retransmission budget; the peer is signalled down on the liveness
+// channel at the same time.
+var ErrPeerUnreachable = errors.New("transport: peer unreachable")
+
+// UDPConfig parameterizes a UDP transport.
+type UDPConfig struct {
+	// Addr is the local listen address ("127.0.0.1:0" for an ephemeral
+	// port).
+	Addr string
+	// Self is the local overlay ID stamped on outgoing frames
+	// (graph.None before the coordinator assigns one; see SetSelf).
+	Self NodeID
+	// Handler receives inbound traffic (nil to start; see SetHandler).
+	Handler Handler
+	// RTO is the request retransmission timeout (defaultRTO if 0).
+	RTO time.Duration
+	// Retries is how many times a timed-out request is resent before
+	// the peer is declared unreachable (defaultRetries if 0).
+	Retries int
+}
+
+// UDP is the real-socket transport: length-prefixed JSON frames over a
+// single UDP socket, per-peer addressing, sequence-matched
+// request/response with RTO retransmission, and liveness events when a
+// peer stops answering. Safe for concurrent use.
+type UDP struct {
+	conn    *net.UDPConn
+	rto     time.Duration
+	retries int
+
+	mu      sync.Mutex
+	self    NodeID
+	handler Handler
+	peers   map[NodeID]*net.UDPAddr
+	order   []NodeID // bound peers in bind order, for round-robin
+	next    int      // round-robin cursor for unaddressed sends
+	down    map[NodeID]bool
+	pending map[uint64]chan *Frame
+	closed  bool
+
+	seq    atomic.Uint64
+	events chan Event
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	delivered   atomic.Uint64
+	requests    atomic.Uint64
+	retransmits atomic.Uint64
+	errOutcomes atomic.Uint64
+}
+
+// NewUDP opens the socket and starts the receive loop.
+func NewUDP(cfg UDPConfig) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", cfg.Addr, err)
+	}
+	u := &UDP{
+		conn:    conn,
+		rto:     cfg.RTO,
+		retries: cfg.Retries,
+		self:    cfg.Self,
+		handler: cfg.Handler,
+		peers:   make(map[NodeID]*net.UDPAddr),
+		down:    make(map[NodeID]bool),
+		pending: make(map[uint64]chan *Frame),
+		events:  make(chan Event, 64),
+		done:    make(chan struct{}),
+	}
+	if u.rto <= 0 {
+		u.rto = defaultRTO
+	}
+	if u.retries <= 0 {
+		u.retries = defaultRetries
+	}
+	u.wg.Add(1)
+	go u.readLoop()
+	return u, nil
+}
+
+// LocalAddr returns the bound socket address (with the resolved port).
+func (u *UDP) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// SetSelf assigns the local overlay ID (the coordinator hands IDs out at
+// bootstrap, after the socket already exists).
+func (u *UDP) SetSelf(id NodeID) {
+	u.mu.Lock()
+	u.self = id
+	u.mu.Unlock()
+}
+
+// Self returns the local overlay ID.
+func (u *UDP) Self() NodeID {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.self
+}
+
+// SetHandler installs the inbound dispatch target.
+func (u *UDP) SetHandler(h Handler) {
+	u.mu.Lock()
+	u.handler = h
+	u.mu.Unlock()
+}
+
+// SetPeer binds a peer ID to its address; later frames to the ID go
+// there. Rebinding an ID replaces the address.
+func (u *UDP) SetPeer(id NodeID, addr string) error {
+	a, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve peer %d addr %q: %w", id, addr, err)
+	}
+	u.mu.Lock()
+	if _, known := u.peers[id]; !known {
+		u.order = append(u.order, id)
+	}
+	u.peers[id] = a
+	u.mu.Unlock()
+	return nil
+}
+
+// PeerAddr returns the bound address of a peer.
+func (u *UDP) PeerAddr(id NodeID) (string, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	a, ok := u.peers[id]
+	if !ok {
+		return "", false
+	}
+	return a.String(), true
+}
+
+// resolve picks the wire address for a destination: the bound address
+// for an addressed send, the next bound peer round-robin for an
+// unaddressed one (batch metering does not expose destinations, but the
+// traffic still has to cross a wire somewhere).
+func (u *UDP) resolve(to NodeID) (NodeID, *net.UDPAddr) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if to != noneID {
+		return to, u.peers[to]
+	}
+	if len(u.order) == 0 {
+		return noneID, nil
+	}
+	id := u.order[u.next%len(u.order)]
+	u.next++
+	return id, u.peers[id]
+}
+
+// Deliver implements Transport: one datagram carrying the whole batch
+// (Count = count), fire-and-forget like the epidemic traffic it mostly
+// carries. An unknown or unaddressed destination with no bound peers is
+// a metered no-op, which keeps the null-deployment path (no daemons yet)
+// identical to the simulation.
+func (u *UDP) Deliver(to NodeID, kind metrics.Kind, count uint64) error {
+	if count == 0 {
+		return nil
+	}
+	id, addr := u.resolve(to)
+	if addr == nil {
+		u.delivered.Add(count)
+		return nil
+	}
+	f := onewayFrame(u.Self(), id, kind, count, u.seq.Add(1))
+	if err := u.write(f, addr); err != nil {
+		u.errOutcomes.Add(1)
+		return err
+	}
+	u.delivered.Add(count)
+	return nil
+}
+
+// Request implements Transport: send, wait for the matching response,
+// retransmit on RTO expiry, give up (and signal the peer down) after the
+// retry budget.
+func (u *UDP) Request(to NodeID, op string, payload []byte) ([]byte, error) {
+	u.mu.Lock()
+	addr := u.peers[to]
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return nil, errors.New("transport: udp transport is closed")
+	}
+	if addr == nil {
+		u.errOutcomes.Add(1)
+		return nil, fmt.Errorf("transport: no address bound for peer %d", to)
+	}
+	seq := u.seq.Add(1)
+	f := requestFrame(u.Self(), to, op, payload, seq)
+	ch := make(chan *Frame, 1)
+	u.mu.Lock()
+	u.pending[seq] = ch
+	u.mu.Unlock()
+	defer func() {
+		u.mu.Lock()
+		delete(u.pending, seq)
+		u.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(u.rto)
+	defer timer.Stop()
+	for attempt := 0; attempt <= u.retries; attempt++ {
+		if attempt > 0 {
+			u.retransmits.Add(1)
+		}
+		if err := u.write(f, addr); err != nil {
+			u.errOutcomes.Add(1)
+			return nil, err
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(u.rto)
+		select {
+		case resp := <-ch:
+			u.markUp(to, addr.String())
+			u.requests.Add(1)
+			if resp.Err != "" {
+				return nil, fmt.Errorf("transport: %s: %s", op, resp.Err)
+			}
+			return resp.Payload, nil
+		case <-timer.C:
+			// fall through to retransmit
+		case <-u.done:
+			return nil, errors.New("transport: udp transport is closed")
+		}
+	}
+	u.errOutcomes.Add(1)
+	u.markDown(to, addr.String())
+	return nil, fmt.Errorf("%w: peer %d (%s) after %d attempts", ErrPeerUnreachable, to, addr, u.retries+1)
+}
+
+// write encodes and sends one frame.
+func (u *UDP) write(f *Frame, addr *net.UDPAddr) error {
+	buf, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = u.conn.WriteToUDP(buf, addr)
+	return err
+}
+
+// markDown signals a peer's transition to unreachable (once per
+// transition).
+func (u *UDP) markDown(id NodeID, addr string) {
+	u.mu.Lock()
+	was := u.down[id]
+	u.down[id] = true
+	closed := u.closed
+	u.mu.Unlock()
+	if !was && !closed {
+		u.signal(Event{Peer: id, Up: false, Addr: addr})
+	}
+}
+
+// markUp signals a peer's recovery (once per transition).
+func (u *UDP) markUp(id NodeID, addr string) {
+	u.mu.Lock()
+	was := u.down[id]
+	delete(u.down, id)
+	closed := u.closed
+	u.mu.Unlock()
+	if was && !closed {
+		u.signal(Event{Peer: id, Up: true, Addr: addr})
+	}
+}
+
+// signal pushes a liveness event without blocking.
+func (u *UDP) signal(ev Event) {
+	select {
+	case u.events <- ev:
+	default:
+	}
+}
+
+// Liveness implements Transport.
+func (u *UDP) Liveness() <-chan Event { return u.events }
+
+// readLoop receives and dispatches frames until the socket closes. A
+// malformed datagram increments the error counter and is dropped; it
+// must never take the loop down.
+func (u *UDP) readLoop() {
+	defer u.wg.Done()
+	buf := make([]byte, headerLen+MaxFrame+1)
+	for {
+		n, raddr, err := u.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-u.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			u.errOutcomes.Add(1)
+			continue
+		}
+		f, _, err := DecodeFrame(buf[:n])
+		if err != nil {
+			u.errOutcomes.Add(1)
+			continue
+		}
+		u.dispatch(f, raddr)
+	}
+}
+
+// dispatch routes one received frame.
+func (u *UDP) dispatch(f *Frame, raddr *net.UDPAddr) {
+	// Learn (or refresh) the sender's address: daemons behind ephemeral
+	// ports become addressable the moment they first speak.
+	if f.From != noneID {
+		u.mu.Lock()
+		if _, known := u.peers[f.From]; !known {
+			u.order = append(u.order, f.From)
+		}
+		u.peers[f.From] = raddr
+		u.mu.Unlock()
+	}
+	switch f.Type {
+	case TypeOneway:
+		count := f.Count
+		if count == 0 {
+			count = 1
+		}
+		u.mu.Lock()
+		h := u.handler
+		u.mu.Unlock()
+		if h != nil {
+			h.ServeOneway(f.From, f.Kind, count)
+		}
+	case TypeRequest:
+		u.mu.Lock()
+		h := u.handler
+		u.mu.Unlock()
+		var payload []byte
+		var err error
+		if h == nil {
+			err = errors.New("no handler")
+		} else {
+			payload, err = h.ServeRequest(f.From, f.Op, f.Payload)
+		}
+		resp := responseFrame(f, u.Self(), payload, err)
+		if werr := u.write(resp, raddr); werr != nil {
+			u.errOutcomes.Add(1)
+		}
+	case TypeResponse:
+		u.mu.Lock()
+		ch := u.pending[f.Seq]
+		u.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f:
+			default:
+			}
+		}
+	}
+}
+
+// Close implements Transport; it is idempotent.
+func (u *UDP) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	u.mu.Unlock()
+	close(u.done)
+	err := u.conn.Close()
+	u.wg.Wait()
+	close(u.events)
+	return err
+}
+
+// Stats returns a snapshot of the delivery accounting.
+func (u *UDP) Stats() Stats {
+	return Stats{
+		Delivered:   u.delivered.Load(),
+		Requests:    u.requests.Load(),
+		Retransmits: u.retransmits.Load(),
+		Errors:      u.errOutcomes.Load(),
+	}
+}

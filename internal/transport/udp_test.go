@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"p2psize/internal/metrics"
+)
+
+// newUDPPair opens two wired transports: a knows b as peer 1, b knows a
+// as peer 0.
+func newUDPPair(t *testing.T, ha, hb Handler) (*UDP, *UDP) {
+	t.Helper()
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0, Handler: ha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	b, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 1, Handler: hb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	if err := a.SetPeer(1, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetPeer(0, a.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUDPRequestResponse(t *testing.T) {
+	hb := &testHandler{request: func(from NodeID, op string, payload []byte) ([]byte, error) {
+		if op != "echo" || from != 0 {
+			t.Errorf("server saw op=%q from=%d", op, from)
+		}
+		return append([]byte("re:"), payload...), nil
+	}}
+	a, _ := newUDPPair(t, nil, hb)
+	resp, err := a.Request(1, "echo", []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if st := a.Stats(); st.Requests != 1 || st.Retransmits != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestUDPRequestApplicationError(t *testing.T) {
+	hb := &testHandler{request: func(NodeID, string, []byte) ([]byte, error) {
+		return nil, errors.New("denied")
+	}}
+	a, _ := newUDPPair(t, nil, hb)
+	if _, err := a.Request(1, "op", nil); err == nil || !contains(err.Error(), "denied") {
+		t.Fatalf("err = %v, want application error", err)
+	}
+}
+
+func TestUDPOnewayBatch(t *testing.T) {
+	hb := &testHandler{}
+	a, _ := newUDPPair(t, nil, hb)
+	// A SendN batch travels as ONE frame with Count, not count datagrams.
+	if err := a.Deliver(1, metrics.KindPush, 500); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for hb.oneway.Load() < 500 {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d of 500 batched messages", hb.oneway.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := a.Stats().Delivered; got != 500 {
+		t.Fatalf("delivered = %d, want 500", got)
+	}
+}
+
+func TestUDPUnboundDeliverIsMeteredNoop(t *testing.T) {
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Deliver(7, metrics.KindWalk, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Delivered != 3 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want delivered=3 errors=0", st)
+	}
+}
+
+func TestUDPRetransmitAndRecover(t *testing.T) {
+	// A raw socket playing a lossy peer: it swallows the first request
+	// datagram and answers the retransmission, exercising the RTO loop and
+	// the wire format against a hand-rolled endpoint.
+	raw, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	go func() {
+		buf := make([]byte, headerLen+MaxFrame)
+		for seen := 0; ; seen++ {
+			n, raddr, err := raw.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if seen == 0 {
+				continue // drop the first attempt
+			}
+			f, _, err := DecodeFrame(buf[:n])
+			if err != nil || f.Type != TypeRequest {
+				continue
+			}
+			out, err := EncodeFrame(responseFrame(f, 1, []byte("late"), nil))
+			if err != nil {
+				return
+			}
+			raw.WriteToUDP(out, raddr)
+		}
+	}()
+
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0, RTO: 30 * time.Millisecond, Retries: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SetPeer(1, raw.LocalAddr().String()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.Request(1, "ping", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "late" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if st := a.Stats(); st.Retransmits == 0 {
+		t.Fatalf("stats = %+v, want at least one retransmit", st)
+	}
+}
+
+func TestUDPUnreachablePeer(t *testing.T) {
+	// Reserve a port with nothing answering on it.
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.LocalAddr().String()
+	dead.Close()
+
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0, RTO: 20 * time.Millisecond, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.SetPeer(1, deadAddr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request(1, "ping", nil); !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("err = %v, want ErrPeerUnreachable", err)
+	}
+	select {
+	case ev := <-a.Liveness():
+		if ev.Peer != 1 || ev.Up {
+			t.Fatalf("liveness event = %+v, want peer 1 down", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no down event on the liveness channel")
+	}
+	if st := a.Stats(); st.Retransmits != 2 || st.Errors == 0 {
+		t.Fatalf("stats = %+v, want 2 retransmits and an error", st)
+	}
+}
+
+func TestUDPAddressLearning(t *testing.T) {
+	// b never calls SetPeer for a; a's first request teaches b the return
+	// address, after which b can Deliver to a by ID.
+	ha := &testHandler{}
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0, Handler: ha})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 1, Handler: &testHandler{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.SetPeer(1, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request(1, "ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	if addr, ok := b.PeerAddr(0); !ok || addr != a.LocalAddr() {
+		t.Fatalf("b learned %q (ok=%v), want %q", addr, ok, a.LocalAddr())
+	}
+	if err := b.Deliver(0, metrics.KindReply, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for ha.oneway.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("a received %d of 2", ha.oneway.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUDPCloseIdempotent(t *testing.T) {
+	a, err := NewUDP(UDPConfig{Addr: "127.0.0.1:0", Self: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	for range a.Liveness() {
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

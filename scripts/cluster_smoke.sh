@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Multi-process live-cluster smoke: spawn 8 p2pnode daemons as separate
+# OS processes on 127.0.0.1, point the p2psize coordinator at their
+# collected addresses, and assert that the live sc,hops,agg estimates
+# agree with the simulated run within tolerance. The coordinator exits
+# nonzero on divergence, so this script's exit code IS the assertion.
+# -teardown shuts the daemons down over RPC; the trap is the backstop
+# for early failures.
+set -euo pipefail
+
+NODES="${NODES:-8}"
+ESTIMATORS="${ESTIMATORS:-sc,hops,agg}"
+TOLERANCE="${TOLERANCE:-0.05}"
+workdir="$(mktemp -d)"
+pids=()
+
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+cd "$(dirname "$0")/.."
+go build -o "$workdir/p2pnode" ./cmd/p2pnode
+go build -o "$workdir/p2psize" ./cmd/p2psize
+
+for i in $(seq 0 $((NODES - 1))); do
+    "$workdir/p2pnode" -addr 127.0.0.1:0 -addr-file "$workdir/addr.$i" \
+        > "$workdir/node.$i.log" 2>&1 &
+    pids+=($!)
+done
+
+# Ephemeral ports land in the addr-files once each daemon is listening.
+for i in $(seq 0 $((NODES - 1))); do
+    for _ in $(seq 1 100); do
+        [ -s "$workdir/addr.$i" ] && break
+        sleep 0.1
+    done
+    [ -s "$workdir/addr.$i" ] || { echo "daemon $i never published its address" >&2; exit 1; }
+done
+cat "$workdir"/addr.* | paste -sd, - > "$workdir/addrs"
+echo "daemons up: $(cat "$workdir/addrs")"
+
+"$workdir/p2psize" -cluster-addrs "@$workdir/addrs" \
+    -estimators "$ESTIMATORS" -tolerance "$TOLERANCE" -teardown
+
+# -teardown asked every daemon to exit; give them a moment and verify.
+for pid in "${pids[@]}"; do
+    for _ in $(seq 1 50); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "daemon pid $pid ignored the shutdown RPC" >&2
+        exit 1
+    fi
+done
+pids=()
+echo "cluster smoke passed: $NODES daemons, estimators $ESTIMATORS, tolerance $TOLERANCE"
