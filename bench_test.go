@@ -19,6 +19,8 @@ import (
 	"p2psize/internal/graph"
 	"p2psize/internal/hopssampling"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
+	"p2psize/internal/pushsum"
 	"p2psize/internal/samplecollide"
 	"p2psize/internal/sim"
 	"p2psize/internal/xrand"
@@ -306,20 +308,33 @@ var roundBenchSizes = []struct {
 	n    int
 }{{"100k", 100000}, {"1M", 1000000}}
 
+// roundBenchModes are the shared mode columns of the per-family round
+// benchmarks: the sequential baseline, the sharded sweep in frozen
+// global-shuffle order (still pays the serial O(N) Fisher–Yates prefix
+// every round), and the sharded sweep with per-shard local shuffles
+// (the Amdahl fix — no serial prefix at all).
+var roundBenchModes = []struct {
+	name            string
+	shards, workers int
+	shuffle         parallel.ShuffleMode
+}{
+	{"seq", 1, 1, parallel.ShuffleGlobal},
+	{"shard-global", 0, 0, parallel.ShuffleGlobal},
+	{"shard-local", 0, 0, parallel.ShuffleLocal},
+}
+
 // BenchmarkAggregationRound compares one sequential round sweep against
-// the sharded sweep (auto shard count, all CPUs) at 100k and 1M nodes.
-// On >= 4 cores the sharded sweep wins at 1M; BENCH_results.json tracks
-// the same comparison as the perf-agg-{seq,shard} suite experiments.
+// the sharded sweep (auto shard count, all CPUs) under both shuffle
+// modes at 100k and 1M nodes. On >= 4 cores shard-local wins at 1M;
+// BENCH_results.json tracks the same comparisons as the
+// perf-agg-{seq,shard} and perf-engine-{global,local} suite experiments.
 func BenchmarkAggregationRound(b *testing.B) {
 	for _, size := range roundBenchSizes {
-		for _, mode := range []struct {
-			name            string
-			shards, workers int
-		}{{"seq", 1, 1}, {"shard", 0, 0}} {
+		for _, mode := range roundBenchModes {
 			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
 				net := benchNet(size.n, 30)
 				p := aggregation.New(aggregation.Config{
-					RoundsPerEpoch: 50, Shards: mode.shards, Workers: mode.workers,
+					RoundsPerEpoch: 50, Shards: mode.shards, Workers: mode.workers, Shuffle: mode.shuffle,
 				}, xrand.New(31))
 				if err := p.StartEpoch(net); err != nil {
 					b.Fatal(err)
@@ -333,19 +348,41 @@ func BenchmarkAggregationRound(b *testing.B) {
 	}
 }
 
-// BenchmarkCyclonRound is the same pair for the CYCLON shuffle rounds,
+// BenchmarkPushSumRound is the same mode matrix for the push-sum round
+// sweep, the third family riding the shared round engine.
+func BenchmarkPushSumRound(b *testing.B) {
+	for _, size := range roundBenchSizes {
+		for _, mode := range roundBenchModes {
+			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
+				net := benchNet(size.n, 35)
+				cfg := pushsum.Default()
+				cfg.Shards = mode.shards
+				cfg.Workers = mode.workers
+				cfg.Shuffle = mode.shuffle
+				p := pushsum.New(cfg, xrand.New(36))
+				if err := p.StartEpoch(net); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.RunRound(net)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCyclonRound is the same matrix for the CYCLON shuffle rounds,
 // after 30% departures so stale-entry eviction is part of the workload.
 func BenchmarkCyclonRound(b *testing.B) {
 	for _, size := range roundBenchSizes {
-		for _, mode := range []struct {
-			name            string
-			shards, workers int
-		}{{"seq", 1, 1}, {"shard", 0, 0}} {
+		for _, mode := range roundBenchModes {
 			b.Run(size.name+"/"+mode.name, func(b *testing.B) {
 				g := graph.Heterogeneous(size.n, 10, xrand.New(32))
 				cfg := cyclon.Default()
 				cfg.Shards = mode.shards
 				cfg.Workers = mode.workers
+				cfg.Shuffle = mode.shuffle
 				p := cyclon.New(cfg, xrand.New(33), nil)
 				p.Bootstrap(g)
 				rng := xrand.New(34)

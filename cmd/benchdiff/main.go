@@ -10,11 +10,18 @@
 // informational — they flag output changes, not regressions (any change
 // to an experiment's data legitimately moves its checksums).
 //
+// -require lists experiment ids that must be present (and error-free) in
+// the NEW report; a missing or errored required id fails the diff even
+// when no wall time regressed. CI requires the perf-engine-{global,local}
+// pair so the shuffle-mode comparison can never silently drop out of
+// BENCH_results.json.
+//
 // Usage:
 //
-//	benchdiff [-threshold 0.20] [-min-ms 50] old.json new.json
+//	benchdiff [-threshold 0.20] [-min-ms 50] [-require id,id] old.json new.json
 //
-// Exit status: 0 no regression, 1 regression, 2 usage or I/O error.
+// Exit status: 0 no regression, 1 regression or missing required
+// experiment, 2 usage or I/O error.
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 	var (
 		threshold = flag.Float64("threshold", 0.20, "fail when an experiment's wall time grows by more than this fraction")
 		minMS     = flag.Float64("min-ms", 50, "ignore experiments faster than this many ms in the baseline (noise floor)")
+		require   = flag.String("require", "", "comma-separated experiment ids that must be present and error-free in the new report")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] old.json new.json\n")
@@ -51,6 +59,13 @@ func main() {
 	}
 	report, regressions := diff(oldRep, newRep, *threshold, *minMS)
 	fmt.Print(report)
+	if missing := checkRequired(newRep, *require); len(missing) > 0 {
+		fmt.Printf("\nFAIL: required experiment(s) missing or errored in %s:\n", flag.Arg(1))
+		for _, m := range missing {
+			fmt.Printf("  %s\n", m)
+		}
+		os.Exit(1)
+	}
 	if len(regressions) > 0 {
 		fmt.Printf("\nFAIL: %d wall-time regression(s) beyond %.0f%%:\n", len(regressions), *threshold*100)
 		for _, r := range regressions {
@@ -142,6 +157,30 @@ func diff(oldRep, newRep *experiments.SuiteReport, threshold, minMS float64) (st
 				oldTotal, newTotal, totalDelta*100))
 	}
 	return b.String(), regressions
+}
+
+// checkRequired verifies every id in the comma-separated spec exists in
+// the new report and carries no error; violations gate like regressions.
+func checkRequired(r *experiments.SuiteReport, spec string) []string {
+	if spec == "" {
+		return nil
+	}
+	have := byID(r)
+	var missing []string
+	for _, id := range strings.Split(spec, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, ok := have[id]
+		switch {
+		case !ok:
+			missing = append(missing, id+": not in report")
+		case e.Error != "":
+			missing = append(missing, id+": errored: "+e.Error)
+		}
+	}
+	return missing
 }
 
 func byID(r *experiments.SuiteReport) map[string]experiments.ExperimentReport {

@@ -68,6 +68,25 @@ func TestDiffTotalIgnoresAddedExperiments(t *testing.T) {
 	}
 }
 
+func TestCheckRequired(t *testing.T) {
+	errored := entry("perf-engine-local", 100, "bb")
+	errored.Error = "boom"
+	rep := report(300, entry("perf-engine-global", 200, "aa"), errored)
+	if missing := checkRequired(rep, ""); missing != nil {
+		t.Fatalf("empty spec flagged: %v", missing)
+	}
+	if missing := checkRequired(rep, "perf-engine-global"); missing != nil {
+		t.Fatalf("present experiment flagged: %v", missing)
+	}
+	missing := checkRequired(rep, " perf-engine-global , perf-engine-local,perf-agg-seq,")
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want errored + absent", missing)
+	}
+	if !strings.Contains(missing[0], "errored: boom") || !strings.Contains(missing[1], "not in report") {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
 func TestDiffAddedRemovedAndChecksums(t *testing.T) {
 	oldRep := report(1000, entry("fig01", 500, "aa"), entry("gone", 100, "cc"))
 	newRep := report(1000, entry("fig01", 500, "CHANGED"), entry("fresh", 100, "dd"))

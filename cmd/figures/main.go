@@ -47,6 +47,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = all CPUs, 1 = sequential); output is identical at any setting")
 		shards     = flag.Int("shards", 0, "shard count for the intra-round Aggregation/CYCLON sweeps (0 = auto-size; part of the output, unlike -workers)")
+		shuffle    = flag.String("shuffle", "global", "sweep-order randomization of the sharded rounds: \"global\" (frozen serial-shuffle draw order) or \"local\" (per-shard shuffles, no serial prefix); part of the output, like -shards")
 		costModel  = flag.String("costmodel", "BENCH_results.json", "suite report supplying measured wall times for longest-job-first scheduling (missing file = static fallback)")
 		ascii      = flag.Bool("ascii", true, "print ASCII previews")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
@@ -74,6 +75,11 @@ func main() {
 	params.Seed = *seed
 	params.Workers = *workers
 	params.Shards = *shards
+	mode, err := parallel.ParseShuffleMode(*shuffle)
+	if err != nil {
+		fatal(fmt.Errorf("-shuffle: %w", err))
+	}
+	params.Shuffle = mode
 	params.CostModel = experiments.LoadCostModel(*costModel)
 	if *estimators != "" {
 		roster, err := registry.Parse(*estimators)

@@ -67,6 +67,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		workers  = flag.Int("workers", 0, "worker pool size for the estimation runs (0 = all CPUs, 1 = sequential); output is identical at any setting")
 		shards   = flag.Int("shards", 0, "shard count for the sweep inside each Aggregation round (0 = auto-size; part of the output, unlike -workers)")
+		shuffle  = flag.String("shuffle", "global", "sweep-order randomization of the sharded rounds: \"global\" (frozen serial-shuffle draw order) or \"local\" (per-shard shuffles, no serial prefix); part of the output, like -shards")
 
 		estSel = flag.String("estimators", "", "select algorithms from the estimator registry (comma-separated names/aliases, \"all\", \"default\", or \"list\" to print the catalog); overrides -algo")
 
@@ -99,6 +100,9 @@ func main() {
 	if *shards < 0 || *shards > parallel.MaxConfigShards {
 		fatal(fmt.Errorf("-shards %d out of range [0, %d] (0 = auto-size)", *shards, parallel.MaxConfigShards))
 	}
+	if _, err := parallel.ParseShuffleMode(*shuffle); err != nil {
+		fatal(fmt.Errorf("-shuffle: %w", err))
+	}
 	// Split the CPU budget between the run-level fan-out and the sweep
 	// inside each Aggregation round, mirroring the experiments layer:
 	// repeated static runs saturate the pool themselves, so their epochs
@@ -112,7 +116,7 @@ func main() {
 	}
 	opts := estOpts{
 		l: *l, timer: *timer, mle: *mle, rounds: *rounds, shards: *shards,
-		aggWorkers: aggWorkers, minHops: *minHops, seed: *seed,
+		shuffle: *shuffle, aggWorkers: aggWorkers, minHops: *minHops, seed: *seed,
 	}
 	fopts, err := p2psize.ParseFaults(*faults)
 	if err != nil {
@@ -237,6 +241,7 @@ type estOpts struct {
 	mle        bool
 	rounds     int
 	shards     int
+	shuffle    string
 	aggWorkers int
 	minHops    int
 	seed       uint64
@@ -306,6 +311,7 @@ func selectEstimators(sel, algo string, o estOpts, net *p2psize.Network, monitor
 			Tours:   10,
 			MinHops: o.minHops,
 			Rounds:  o.rounds, Shards: o.shards, Workers: o.aggWorkers,
+			Shuffle: o.shuffle,
 		}
 		if monitoring {
 			cfg.Tours = 3
@@ -353,7 +359,8 @@ func buildEstimators(algo string, o estOpts) ([]estimatorSpec, error) {
 	}}
 	agg := estimatorSpec{family: "aggregation", make: func(run int) p2psize.Estimator {
 		return p2psize.NewAggregation(p2psize.AggregationOptions{
-			Rounds: o.rounds, Shards: o.shards, Workers: o.aggWorkers, Seed: aggSeed(run),
+			Rounds: o.rounds, Shards: o.shards, Workers: o.aggWorkers,
+			Shuffle: o.shuffle, Seed: aggSeed(run),
 		})
 	}}
 	tour := estimatorSpec{family: "randomtour", make: func(run int) p2psize.Estimator {

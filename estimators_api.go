@@ -13,6 +13,7 @@ import (
 
 	"p2psize/internal/core"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/registry"
 	"p2psize/internal/xrand"
 )
@@ -106,6 +107,12 @@ type EstimatorConfig struct {
 	Shards int
 	// Workers caps the goroutines sweeping one Aggregation round.
 	Workers int
+	// Shuffle selects the sharded sweeps' order randomization:
+	// "" or "global" reproduces the frozen serial-shuffle draw order,
+	// "local" (alias "localshuffle") shuffles each shard's segment
+	// inside the parallel phase — same estimator statistically, no
+	// serial O(N) prefix. Part of the output, like Shards.
+	Shuffle string
 	// ResponseProb is the polling reply probability (0 = 0.01).
 	ResponseProb float64
 	// IDSamples is the id-density probe count (0 = 200).
@@ -131,8 +138,13 @@ type EstimatorConfig struct {
 // configuration to the internal registry's options: canonical fields
 // pass through one-for-one, deprecated aliases fill in wherever the
 // canonical field holds its zero value.
-func (c EstimatorConfig) registryOptions() registry.Options {
+func (c EstimatorConfig) registryOptions() (registry.Options, error) {
+	shuffle, err := parallel.ParseShuffleMode(c.Shuffle)
+	if err != nil {
+		return registry.Options{}, fmt.Errorf("p2psize: Shuffle: %w", err)
+	}
 	o := registry.Options{
+		Shuffle:      shuffle,
 		SCTimer:      c.SCTimer,
 		SCL:          c.SCL,
 		SCMLE:        c.SCMLE || c.UseMLE,
@@ -158,7 +170,7 @@ func (c EstimatorConfig) registryOptions() registry.Options {
 	if o.MinHops == 0 {
 		o.MinHops = c.MinHopsReporting
 	}
-	return o
+	return o, nil
 }
 
 // NewEstimatorByName builds an estimator by registry name or alias.
@@ -178,7 +190,11 @@ func NewEstimatorByName(name string, cfg EstimatorConfig, net *Network) (Estimat
 	if net != nil {
 		inner = net.net
 	}
-	e, err := d.Build(inner, xrand.New(cfg.Seed), cfg.registryOptions())
+	opts, err := cfg.registryOptions()
+	if err != nil {
+		return nil, err
+	}
+	e, err := d.Build(inner, xrand.New(cfg.Seed), opts)
 	if err != nil {
 		return nil, fmt.Errorf("p2psize: %s: %w", d.Name, err)
 	}

@@ -91,12 +91,18 @@ func TestEstimatorConfigAliases(t *testing.T) {
 	alias := EstimatorConfig{T: 5, L: 50, UseMLE: true, MinHopsReporting: 7}
 	canon := EstimatorConfig{SCTimer: 5, SCL: 50, SCMLE: true, MinHops: 7}
 	both := EstimatorConfig{SCTimer: 5, T: 99, SCL: 50, L: 9999, SCMLE: true, MinHops: 7, MinHopsReporting: 99}
-	want := canon.registryOptions()
-	if got := alias.registryOptions(); got != want {
-		t.Fatalf("alias conversion:\n  %+v\nwant\n  %+v", got, want)
+	want, err := canon.registryOptions()
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := both.registryOptions(); got != want {
-		t.Fatalf("canonical fields did not win:\n  %+v\nwant\n  %+v", got, want)
+	if got, err := alias.registryOptions(); err != nil || got != want {
+		t.Fatalf("alias conversion (err %v):\n  %+v\nwant\n  %+v", err, got, want)
+	}
+	if got, err := both.registryOptions(); err != nil || got != want {
+		t.Fatalf("canonical fields did not win (err %v):\n  %+v\nwant\n  %+v", err, got, want)
+	}
+	if _, err := (EstimatorConfig{Shuffle: "bogus"}).registryOptions(); err == nil {
+		t.Fatal("unknown shuffle spelling accepted")
 	}
 
 	net, err := NewNetwork(NetworkOptions{Nodes: 2000, Seed: 1})

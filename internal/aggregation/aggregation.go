@@ -54,17 +54,26 @@ type Config struct {
 	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
 	// only changes wall time, never output.
 	Workers int
+	// Shuffle selects the round engine's sweep-order randomization:
+	// ShuffleGlobal (the default) reproduces the serial full-sweep
+	// shuffle bit for bit, ShuffleLocal shuffles per shard to remove
+	// the serial O(N) prefix. Part of the output, like Shards.
+	Shuffle parallel.ShuffleMode
 }
 
 // Default returns the paper's dynamic-setting configuration (50 rounds).
 func Default() Config { return Config{RoundsPerEpoch: 50} }
 
+func (c Config) engine() parallel.EngineConfig {
+	return parallel.EngineConfig{Shards: c.Shards, Workers: c.Workers, Shuffle: c.Shuffle}
+}
+
 func (c *Config) validate() error {
 	if c.RoundsPerEpoch < 1 {
 		return errors.New("aggregation: RoundsPerEpoch must be >= 1")
 	}
-	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
-		return fmt.Errorf("aggregation: Shards must be in [0, %d]", parallel.MaxConfigShards)
+	if err := c.engine().Validate(); err != nil {
+		return fmt.Errorf("aggregation: %w", err)
 	}
 	return nil
 }
@@ -80,9 +89,7 @@ type Protocol struct {
 	epochOf   []uint32  // epoch tag a node participates in
 	epoch     uint32
 	initiator graph.NodeID
-	order     []int32             // scratch: shuffled alive indices
-	ownerOf   []uint16            // scratch: shard owning each node this round
-	shards    []shardState        // scratch: per-shard sweep output
+	engine    parallel.RoundEngine[pair]
 	pol       overlay.FaultPolicy // scratch: this round's fault policy
 }
 
@@ -100,17 +107,6 @@ const (
 type pair struct {
 	u, v graph.NodeID
 	fate uint8
-}
-
-// shardState collects what one shard produces during the parallel phase
-// of a round: its exchange count (merged into the meter in shard order)
-// and, per target shard, the pairs it had to defer because the drawn
-// neighbor belongs there. Keeping deferrals bucketed by target is what
-// lets the fix-up pass run as a tournament of disjoint shard pairs.
-type shardState struct {
-	pairs uint64
-	pulls uint64   // replies actually sent (push not lost)
-	def   [][]pair // indexed by the target's shard
 }
 
 // New builds a Protocol; it panics on invalid configuration.
@@ -190,19 +186,16 @@ func (p *Protocol) join(id graph.NodeID) {
 // value") and the pair averages its values. It panics if called before
 // StartEpoch.
 //
-// The sweep is sharded: the shuffled order is cut into Config.Shards
-// contiguous segments, each sweeping its nodes with its own per-round
-// xrand stream. A shard completes an exchange immediately when the
-// drawn neighbor lies in its own segment — then both endpoints' values
-// are owned by that shard alone — and defers it otherwise. Deferred
-// pairs (the majority: a uniform neighbor lands outside its initiator's
-// shard with probability (S-1)/S) are applied in a fixed round-robin
-// tournament of shard pairs: within one tournament round no two
-// meetings share a shard, so the meetings run in parallel, and each
-// meeting applies first a's pairs targeting b, then b's targeting a, in
-// sweep order. The schedule is a pure function of the shard count, so
-// the result depends only on (seed, config, overlay), never on
-// Config.Workers or scheduling.
+// The sweep runs on the shared sharded-round engine
+// (parallel.RoundEngine): the sweep order is cut into Config.Shards
+// segments, each sweeping its nodes with its own per-round xrand
+// stream. A shard completes an exchange immediately when the drawn
+// neighbor lies in its own segment — then both endpoints' values are
+// owned by that shard alone — and defers it otherwise. Deferred pairs
+// (the majority: a uniform neighbor lands outside its initiator's shard
+// with probability (S-1)/S) are applied in the engine's fixed
+// round-robin tournament of shard pairs, so the result depends only on
+// (seed, config, overlay), never on Config.Workers or scheduling.
 func (p *Protocol) RunRound(net *overlay.Network) {
 	if p.epoch == 0 {
 		panic("aggregation: RunRound before StartEpoch")
@@ -213,18 +206,6 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	if n == 0 {
 		return
 	}
-	if cap(p.order) < n {
-		p.order = make([]int32, n)
-	}
-	p.order = p.order[:n]
-	for i := range p.order {
-		p.order[i] = int32(i)
-	}
-	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
-	// All per-node draws below come from streams of this one draw, so
-	// the protocol rng advances identically at every shard count.
-	roundSeed := p.rng.Uint64()
-	shards := parallel.Shards(p.cfg.Shards, n)
 	// Fate draws happen only under a positive drop probability, so the
 	// benign draw sequence is untouched by the fault layer's existence.
 	p.pol = net.FaultPolicy()
@@ -258,96 +239,41 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		return fate
 	}
 
-	if shards == 1 {
-		rng := xrand.NewStream(roundSeed, 0)
-		for _, idx := range p.order {
-			// Mutating churn never happens mid-round; alive list is stable.
-			u := g.AliveAt(int(idx))
+	sw := parallel.Sweep[pair]{
+		N:       n,
+		NumKeys: g.NumIDs(),
+		// Mutating churn never happens mid-round; the alive list is
+		// stable, so position->ID is a pure mapping all round.
+		Key: func(elem int32) int32 { return g.AliveAt(int(elem)) },
+		Visit: func(sh *parallel.Shard[pair], elem int32, rng *xrand.Rand) error {
+			u := g.AliveAt(int(elem))
 			v, ok := g.RandomNeighbor(u, rng)
 			if !ok {
-				continue
+				return nil
 			}
 			fate := natFate(v, drawFate(rng))
-			net.Send(metrics.KindPush)
+			sh.Meters[0]++ // push sent
 			if fate&fatePushLost == 0 {
-				net.Send(metrics.KindPull)
+				sh.Meters[1]++ // pull answered
 			}
-			p.exchange(u, v, fate)
-		}
-		return
-	}
-
-	if cap(p.ownerOf) < g.NumIDs() {
-		p.ownerOf = make([]uint16, g.NumIDs())
-	}
-	p.ownerOf = p.ownerOf[:g.NumIDs()]
-	for len(p.shards) < shards {
-		p.shards = append(p.shards, shardState{})
-	}
-	// Ownership prepass, parallel: each shard stamps the nodes of its
-	// own segment (distinct entries, so no write is shared).
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			p.ownerOf[g.AliveAt(int(p.order[i]))] = uint16(s)
-		}
-		return nil
-	})
-	// Phase 1, parallel: each shard touches only values it owns. Both
-	// endpoints of an immediate exchange lie in the shard's segment, so
-	// no value is read or written by two shards; workers therefore only
-	// shape scheduling.
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		rng := xrand.NewStream(roundSeed, uint64(s))
-		sh := &p.shards[s]
-		sh.pairs = 0
-		sh.pulls = 0
-		for len(sh.def) < shards {
-			sh.def = append(sh.def, nil)
-		}
-		for t := range sh.def {
-			sh.def[t] = sh.def[t][:0]
-		}
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			u := g.AliveAt(int(p.order[i]))
-			v, ok := g.RandomNeighbor(u, rng)
-			if !ok {
-				continue
-			}
-			fate := natFate(v, drawFate(rng))
-			sh.pairs++
-			if fate&fatePushLost == 0 {
-				sh.pulls++
-			}
-			if t := p.ownerOf[v]; t == uint16(s) {
+			if t := sh.Owner(v); t == sh.Index {
 				p.exchange(u, v, fate)
 			} else {
-				sh.def[t] = append(sh.def[t], pair{u: u, v: v, fate: fate})
-			}
-		}
-		return nil
-	})
-	// Meter merge in shard order (the totals are order-independent, the
-	// fixed order keeps even intermediate states deterministic).
-	for s := 0; s < shards; s++ {
-		sh := &p.shards[s]
-		net.SendN(metrics.KindPush, sh.pairs)
-		net.SendN(metrics.KindPull, sh.pulls)
-	}
-	// Phase 2: the cross-shard tournament. Every meeting {a, b} only
-	// touches values owned by a or b, and no tournament round repeats a
-	// shard, so the meetings of one round run concurrently while the
-	// exchange order stays fixed by the schedule.
-	for _, round := range parallel.RoundRobinPairs(shards) {
-		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
-			a, b := round[i][0], round[i][1]
-			for _, pr := range p.shards[a].def[b] {
-				p.exchange(pr.u, pr.v, pr.fate)
-			}
-			for _, pr := range p.shards[b].def[a] {
-				p.exchange(pr.u, pr.v, pr.fate)
+				sh.Defer(t, pair{u: u, v: v, fate: fate})
 			}
 			return nil
-		})
+		},
+		Merge: func(sh *parallel.Shard[pair]) {
+			net.SendN(metrics.KindPush, sh.Meters[0])
+			net.SendN(metrics.KindPull, sh.Meters[1])
+		},
+		Resolve: func(pr pair, _ *xrand.Rand) error {
+			p.exchange(pr.u, pr.v, pr.fate)
+			return nil
+		},
+	}
+	if err := p.engine.Round(p.rng, p.cfg.engine(), &sw); err != nil {
+		panic(fmt.Sprintf("aggregation: round sweep failed: %v", err))
 	}
 }
 

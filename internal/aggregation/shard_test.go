@@ -96,6 +96,85 @@ func TestShardsBeyondCapPanics(t *testing.T) {
 	New(Config{RoundsPerEpoch: 1, Shards: parallel.MaxConfigShards + 1}, xrand.New(1))
 }
 
+// TestLocalShuffleWorkerCountInvariance extends the invariance to the
+// engine's ShuffleLocal mode: different draws from the global shuffle,
+// same worker-count independence.
+func TestLocalShuffleWorkerCountInvariance(t *testing.T) {
+	const n, rounds = 3000, 12
+	cfg := Config{RoundsPerEpoch: rounds, Shards: 4, Workers: 1, Shuffle: parallel.ShuffleLocal}
+	ref, refMsgs := epochValues(t, n, cfg, 81, rounds)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		got, gotMsgs := epochValues(t, n, cfg, 81, rounds)
+		if gotMsgs != refMsgs {
+			t.Fatalf("messages differ at workers=%d: %d vs %d", workers, gotMsgs, refMsgs)
+		}
+		for id := range ref {
+			if math.Float64bits(ref[id]) != math.Float64bits(got[id]) {
+				t.Fatalf("value of node %d differs at workers=%d", id, workers)
+			}
+		}
+	}
+}
+
+// TestShuffleModeIsPartOfTheAlgorithm: the local-shuffle mode draws a
+// different (equally valid) trajectory — a mode knob that silently fell
+// back to the global shuffle would pass every other test.
+func TestShuffleModeIsPartOfTheAlgorithm(t *testing.T) {
+	a, _ := epochValues(t, 3000, Config{RoundsPerEpoch: 10, Shards: 4, Workers: 1}, 82, 10)
+	b, _ := epochValues(t, 3000, Config{RoundsPerEpoch: 10, Shards: 4, Workers: 1, Shuffle: parallel.ShuffleLocal}, 82, 10)
+	same := true
+	for id := range a {
+		if a[id] != b[id] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("global and local shuffle produced identical values")
+	}
+}
+
+// TestLocalShuffleStatisticalEquivalence is the acceptance gate for the
+// localshuffle knob: over 30 seeded one-epoch estimations, the
+// local-shuffle estimator's mean and spread match the frozen
+// global-shuffle estimator's within the same envelopes the sharded
+// sweep itself had to meet.
+func TestLocalShuffleStatisticalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 full epochs at n=2000")
+	}
+	const n, runs = 2000, 30
+	distribution := func(mode parallel.ShuffleMode) (mean, sd float64) {
+		var r stats.Running
+		for i := 0; i < runs; i++ {
+			net := hetNet(n, uint64(600+i))
+			e := NewEstimator(Config{RoundsPerEpoch: 50, Shards: 8, Workers: 1, Shuffle: mode},
+				xrand.New(uint64(1000+i)))
+			est, err := e.Estimate(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Add(est)
+		}
+		return r.Mean(), r.StdDev()
+	}
+	gMean, gSD := distribution(parallel.ShuffleGlobal)
+	lMean, lSD := distribution(parallel.ShuffleLocal)
+	if math.Abs(gMean-n)/n > 0.02 || math.Abs(lMean-n)/n > 0.02 {
+		t.Fatalf("means off truth: global %.1f, local %.1f (n=%d)", gMean, lMean, n)
+	}
+	if math.Abs(lMean-gMean)/n > 0.02 {
+		t.Fatalf("means diverge: global %.1f vs local %.1f", gMean, lMean)
+	}
+	if gSD/n > 0.05 || lSD/n > 0.05 {
+		t.Fatalf("spread too wide: global sd %.1f, local sd %.1f", gSD, lSD)
+	}
+	if math.Abs(lSD-gSD)/n > 0.03 {
+		t.Fatalf("spreads diverge: global sd %.1f vs local sd %.1f", gSD, lSD)
+	}
+}
+
 // TestShardedStatisticalEquivalence checks the sharded sweep is the
 // same estimator statistically: over 30 seeded one-epoch estimations on
 // fresh overlays, the mean and spread of the size estimate match the

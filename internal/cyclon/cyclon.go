@@ -17,10 +17,11 @@
 // are chosen for a shuffle, fail, and are dropped.
 //
 // Views are stored in a dense slice indexed by node ID, which lets one
-// round's shuffles shard across goroutines exactly like the Aggregation
-// sweep: the shuffled initiator order is cut into segments with
-// per-shard xrand streams, shuffles whose target lies in another shard
-// are deferred to an ordered fix-up pass, and the resulting views are
+// round's shuffles run on the shared sharded-round engine
+// (parallel.RoundEngine) exactly like the Aggregation sweep: the
+// initiator order is cut into segments with per-shard xrand streams,
+// shuffles whose target lies in another shard are deferred to the
+// engine's tournament fix-up pass, and the resulting views are
 // byte-identical at every Config.Workers setting.
 //
 // The package maintains its own directed views and can export the
@@ -60,6 +61,16 @@ type Config struct {
 	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
 	// only changes wall time, never output.
 	Workers int
+	// Shuffle selects the sweep-order randomization: the default
+	// ShuffleGlobal reproduces the frozen serial-shuffle draw order,
+	// ShuffleLocal shuffles per shard inside the parallel phase. Part of
+	// the output, like Shards.
+	Shuffle parallel.ShuffleMode
+}
+
+// engine projects the sharded-round knobs onto the engine's config.
+func (c Config) engine() parallel.EngineConfig {
+	return parallel.EngineConfig{Shards: c.Shards, Workers: c.Workers, Shuffle: c.Shuffle}
 }
 
 // Default returns ViewSize 8, ShuffleLen 4.
@@ -72,8 +83,8 @@ func (c *Config) validate() error {
 	if c.ShuffleLen < 1 || c.ShuffleLen > c.ViewSize {
 		return errors.New("cyclon: ShuffleLen must be in [1, ViewSize]")
 	}
-	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
-		return fmt.Errorf("cyclon: Shards must be in [0, %d]", parallel.MaxConfigShards)
+	if err := c.engine().Validate(); err != nil {
+		return fmt.Errorf("cyclon: %w", err)
 	}
 	return nil
 }
@@ -94,24 +105,14 @@ type Protocol struct {
 	count   int
 	counter *metrics.Counter
 
-	order   []graph.NodeID // scratch: shuffled member ids
-	ownerOf []uint16       // scratch: shard owning each peer this round
-	shards  []shardState   // scratch: per-shard round output
+	members []graph.NodeID                 // scratch: member ids in base order
+	engine  parallel.RoundEngine[deferred] // owns all sharded-sweep scratch
 }
 
 // deferred is one cross-shard shuffle: id initiated, q is its (live)
 // oldest neighbor, owned by another shard.
 type deferred struct {
 	id, q graph.NodeID
-}
-
-// shardState collects one shard's round output: its message count
-// (merged in shard order) and, per target shard, the shuffles deferred
-// because the oldest neighbor belongs there. Bucketing by target lets
-// the fix-up pass run as a tournament of disjoint shard pairs.
-type shardState struct {
-	msgs uint64
-	def  [][]deferred // indexed by the target's shard
 }
 
 // New builds a protocol instance; counter may be nil.
@@ -234,122 +235,66 @@ func (p *Protocol) View(id graph.NodeID) []graph.NodeID {
 // shuffle aimed at a dead peer costs the request only and evicts the
 // stale entry.
 //
-// The round is sharded like aggregation.RunRound: the shuffled
-// initiator order is cut into Config.Shards segments, each running on
-// its own per-round xrand stream. A shard whose initiator targets a
-// peer of the same shard completes the exchange immediately (both views
-// are shard-owned); targets in other shards are deferred — the age bump
-// and target eviction still happen in phase 1, on the initiator's own
-// view. Deferred shuffles complete in a fixed round-robin tournament of
-// shard pairs: each meeting {a, b} owns both endpoints' views, draws
-// from its own pair stream, and applies first a's shuffles targeting b,
-// then b's targeting a, in sweep order; no tournament round repeats a
-// shard, so meetings run concurrently. Views are byte-identical at
-// every Config.Workers setting.
+// The round runs on the shared sharded-round engine, like
+// aggregation.RunRound: the initiator order is cut into Config.Shards
+// segments, each running on its own per-round xrand stream. A shard
+// whose initiator targets a peer of the same shard completes the
+// exchange immediately (both views are shard-owned); targets in other
+// shards are deferred — the age bump and target eviction still happen
+// in phase 1, on the initiator's own view. Deferred shuffles complete
+// in the engine's fixed round-robin tournament of shard pairs, each
+// meeting drawing from its own pair stream. Views are byte-identical
+// at every Config.Workers setting.
 func (p *Protocol) RunRound() {
 	n := p.count
 	if n == 0 {
 		return
 	}
-	p.order = p.appendMemberIDs(p.order[:0])
-	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
-	// One draw feeds every per-shard stream, so the protocol rng
-	// advances identically at every shard count.
-	roundSeed := p.rng.Uint64()
-	shards := parallel.Shards(p.cfg.Shards, n)
+	// The engine permutes positions into this fixed ascending base
+	// order; shuffling positions and mapping through the base array is
+	// the same permutation the pre-engine code drew shuffling the IDs
+	// directly. Membership is frozen mid-round, so Alive reads race
+	// with nothing.
+	p.members = p.appendMemberIDs(p.members[:0])
 
-	if shards == 1 {
-		rng := xrand.NewStream(roundSeed, 0)
-		for _, id := range p.order {
+	sw := parallel.Sweep[deferred]{
+		N:       n,
+		NumKeys: len(p.views),
+		Key:     func(elem int32) int32 { return p.members[elem] },
+		Visit: func(sh *parallel.Shard[deferred], elem int32, rng *xrand.Rand) error {
+			id := p.members[elem]
 			q, ok := p.beginShuffle(id)
 			if !ok {
-				continue
+				return nil
 			}
-			p.counter.Inc(metrics.KindControl) // shuffle request
+			sh.Meters[0]++ // shuffle request
 			if !p.Alive(q) {
 				// Dead neighbor discovered: the request times out and the
 				// stale entry stays dropped — CYCLON's churn flushing.
-				continue
+				return nil
 			}
-			p.counter.Inc(metrics.KindControl) // shuffle reply
-			p.completeShuffle(id, q, rng)
-		}
-		return
-	}
-
-	if cap(p.ownerOf) < len(p.views) {
-		p.ownerOf = make([]uint16, len(p.views))
-	}
-	p.ownerOf = p.ownerOf[:len(p.views)]
-	for len(p.shards) < shards {
-		p.shards = append(p.shards, shardState{})
-	}
-	// Ownership prepass, parallel: each shard stamps its own segment.
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			p.ownerOf[p.order[i]] = uint16(s)
-		}
-		return nil
-	})
-	// Phase 1, parallel: a shard mutates only views of peers it owns —
-	// the initiator is owned by construction and an immediate exchange
-	// requires the target to be too. Membership is frozen mid-round, so
-	// Alive reads race with nothing.
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		rng := xrand.NewStream(roundSeed, uint64(s))
-		sh := &p.shards[s]
-		sh.msgs = 0
-		for len(sh.def) < shards {
-			sh.def = append(sh.def, nil)
-		}
-		for t := range sh.def {
-			sh.def[t] = sh.def[t][:0]
-		}
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			id := p.order[i]
-			q, ok := p.beginShuffle(id)
-			if !ok {
-				continue
-			}
-			sh.msgs++ // shuffle request
-			if !p.Alive(q) {
-				continue
-			}
-			if t := p.ownerOf[q]; t == uint16(s) {
-				sh.msgs++ // shuffle reply
+			if t := sh.Owner(q); t == sh.Index {
+				sh.Meters[0]++ // shuffle reply
 				p.completeShuffle(id, q, rng)
 			} else {
-				sh.def[t] = append(sh.def[t], deferred{id: id, q: q})
-			}
-		}
-		return nil
-	})
-	// Meter merge in shard order; every deferred shuffle has a live
-	// target, so its reply is countable here rather than inside the
-	// (concurrent) tournament meetings.
-	for s := 0; s < shards; s++ {
-		sh := &p.shards[s]
-		p.counter.Add(metrics.KindControl, sh.msgs)
-		for t := range sh.def {
-			p.counter.Add(metrics.KindControl, uint64(len(sh.def[t])))
-		}
-	}
-	// Phase 2: the cross-shard tournament. Meeting {a, b} touches only
-	// views owned by a or b and draws from its own pair stream, so the
-	// meetings of one tournament round run concurrently with output
-	// fixed by the schedule.
-	for _, round := range parallel.RoundRobinPairs(shards) {
-		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
-			a, b := round[i][0], round[i][1]
-			rng := xrand.NewStream(roundSeed, uint64(shards+a*shards+b))
-			for _, d := range p.shards[a].def[b] {
-				p.completeShuffle(d.id, d.q, rng)
-			}
-			for _, d := range p.shards[b].def[a] {
-				p.completeShuffle(d.id, d.q, rng)
+				sh.Defer(t, deferred{id: id, q: q})
 			}
 			return nil
-		})
+		},
+		// Every deferred shuffle has a live target, so its reply is
+		// countable at merge time rather than inside the (concurrent)
+		// tournament meetings.
+		Merge: func(sh *parallel.Shard[deferred]) {
+			p.counter.Add(metrics.KindControl, sh.Meters[0]+uint64(sh.DeferredTotal()))
+		},
+		Resolve: func(d deferred, rng *xrand.Rand) error {
+			p.completeShuffle(d.id, d.q, rng)
+			return nil
+		},
+		PairStreams: true,
+	}
+	if err := p.engine.Round(p.rng, p.cfg.engine(), &sw); err != nil {
+		panic(fmt.Sprintf("cyclon: round sweep failed: %v", err))
 	}
 }
 

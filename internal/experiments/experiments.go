@@ -76,6 +76,13 @@ type Params struct {
 	// At any fixed value the output stays byte-identical at every
 	// Workers setting.
 	Shards int
+	// Shuffle selects the sharded sweeps' order randomization: the
+	// default parallel.ShuffleGlobal reproduces the frozen
+	// serial-shuffle draw order (every pre-engine checksum holds),
+	// parallel.ShuffleLocal shuffles per shard inside the parallel
+	// phase (the perf-engine-* experiments measure the difference).
+	// Part of the output, like Shards.
+	Shuffle parallel.ShuffleMode
 	// CostModel optionally maps experiment ids to measured wall times in
 	// milliseconds (from a previous suite report, see LoadCostModel);
 	// RunSuite schedules longest-first from it, falling back to the
@@ -303,7 +310,7 @@ func instances(id, name string, count int, p Params, stream uint64, opts registr
 // workers is the intra-round goroutine budget for this call site — pass
 // 1 where the estimator already sits under a wide run-level fan-out.
 func aggConfig(p Params, workers int) aggregation.Config {
-	return aggregation.Config{RoundsPerEpoch: p.EpochLen, Shards: p.Shards, Workers: workers}
+	return aggregation.Config{RoundsPerEpoch: p.EpochLen, Shards: p.Shards, Workers: workers, Shuffle: p.Shuffle}
 }
 
 // splitWorkers divides the Params.Workers budget between an outer

@@ -116,7 +116,7 @@ func extClasses(p Params) (*Figure, error) {
 	// every id-density instance — real deployments amortize ring
 	// construction the same way.
 	ring := idspace.NewRing(baseNet, xrand.New(p.Seed+0x3101))
-	aggOpts := registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}
+	aggOpts := registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1, Shuffle: p.Shuffle}
 	candidates := []candidate{
 		{"sample&collide(l=200)", "samplecollide", 0x3102, registry.Options{}},
 		{"hops-sampling", "hopssampling", 0x3103, registry.Options{}},
@@ -241,6 +241,7 @@ func extCyclon(p Params) (*Figure, error) {
 	ccfg := cyclon.Default()
 	ccfg.Shards = p.Shards
 	ccfg.Workers = p.Workers
+	ccfg.Shuffle = p.Shuffle
 	proto := cyclon.New(ccfg, xrand.New(p.Seed+0x3301), nil)
 	proto.Bootstrap(g)
 

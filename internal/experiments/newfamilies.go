@@ -65,7 +65,7 @@ func staticNew(p Params) (*Figure, error) {
 	candidates := []cand{
 		{"Sample&collide", "samplecollide", p.Seed + 0x1901, registry.Options{}},
 		{"Push-sum", "pushsum", p.Seed + 0x1902,
-			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}},
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1, Shuffle: p.Shuffle}},
 		{"Capture-recapture", "capturerecapture", p.Seed + 0x1903, registry.Options{}},
 		{"DHT density", "dht", p.Seed + 0x1904, registry.Options{}},
 	}

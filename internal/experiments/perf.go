@@ -17,6 +17,7 @@ import (
 	"p2psize/internal/cyclon"
 	"p2psize/internal/graph"
 	"p2psize/internal/metrics"
+	"p2psize/internal/parallel"
 	"p2psize/internal/xrand"
 )
 
@@ -32,6 +33,19 @@ func init() {
 	})
 	register("perf-cyclon-shard", func(p Params) (*Figure, error) {
 		return perfCyclonRounds("perf-cyclon-shard", "CYCLON shuffle rounds, sharded", p, p.Shards, p.Workers)
+	})
+	// The perf-engine pair isolates the round engine's shuffle modes on
+	// the identical sharded workload: -global pays the serial O(N)
+	// Fisher–Yates prefix every round (the frozen draw order), -local
+	// shuffles each shard's segment inside the parallel phase. Their
+	// wall-time ratio in BENCH_results.json is the measured Amdahl
+	// residue; cmd/benchdiff -require gates both so the pair can never
+	// silently drop out of the report.
+	register("perf-engine-global", func(p Params) (*Figure, error) {
+		return perfEngineRounds("perf-engine-global", "Engine round sweep, global (serial-prefix) shuffle", p, parallel.ShuffleGlobal)
+	})
+	register("perf-engine-local", func(p Params) (*Figure, error) {
+		return perfEngineRounds("perf-engine-local", "Engine round sweep, per-shard local shuffle", p, parallel.ShuffleLocal)
 	})
 }
 
@@ -67,6 +81,40 @@ func perfAggRounds(id, title string, p Params, shards, workers int) (*Figure, er
 		fig.Messages += net.Counter().Total()
 	}
 	fig.AddNote("%d rounds per size; compare this experiment's wall time against its seq/shard sibling", perfRounds)
+	return fig, nil
+}
+
+// perfEngineRounds runs the Aggregation round sweep on the Params shard
+// budget under the given shuffle mode. Sibling of perfAggRounds, but the
+// pair differs only in the engine's ShuffleMode — any wall-time gap
+// between perf-engine-global and perf-engine-local is the serial-shuffle
+// prefix, nothing else. The plotted estimate series are each mode's own
+// frozen output (the modes draw differently by design), locked by the
+// report checksum like every other experiment.
+func perfEngineRounds(id, title string, p Params, mode parallel.ShuffleMode) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "#Round",
+		YLabel: "Estimated size",
+	}
+	for _, size := range []int{p.N100k, p.N1M} {
+		net := hetNet(size, p, 0x5200+uint64(size))
+		cfg := aggregation.Config{RoundsPerEpoch: perfRounds, Shards: p.Shards, Workers: p.Workers, Shuffle: mode}
+		proto := aggregation.New(cfg, xrand.New(p.Seed+0x5201))
+		if err := proto.StartEpoch(net); err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		s := &metrics.Series{Name: fmt.Sprintf("N=%d", size)}
+		for round := 1; round <= perfRounds; round++ {
+			proto.RunRound(net)
+			est, _ := proto.Estimate(net)
+			s.Append(float64(round), est)
+		}
+		fig.Series = append(fig.Series, s)
+		fig.Messages += net.Counter().Total()
+	}
+	fig.AddNote("%d rounds per size, shuffle=%s; compare wall time against the other perf-engine mode", perfRounds, mode)
 	return fig, nil
 }
 

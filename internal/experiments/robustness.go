@@ -86,7 +86,7 @@ func runRobustness(id, title string, spec fault.Spec, p Params) (*Figure, error)
 	// The ring snapshots the overlay after the adversary moved in —
 	// sybils registered identifiers, silent peers' records linger.
 	ring := idspace.NewRing(baseNet, xrand.New(p.Seed+0x5203))
-	aggOpts := registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}
+	aggOpts := registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1, Shuffle: p.Shuffle}
 	candidates := []robustCandidate{
 		{"samplecollide", 0x5210, registry.Options{}},
 		{"randomtour", 0x5211, registry.Options{Tours: 3}},

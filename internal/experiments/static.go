@@ -262,7 +262,7 @@ func fig08(p Params) (*Figure, error) {
 	}
 	candidates := []cand{
 		{"Aggregation", "aggregation", p.Seed + 0x0801,
-			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}, false},
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1, Shuffle: p.Shuffle}, false},
 		{"Sample&collide", "samplecollide", p.Seed + 0x0802, registry.Options{}, false},
 		{"HopsSampling", "hopssampling", p.Seed + 0x0803, registry.Options{}, true},
 	}

@@ -52,7 +52,7 @@ func TableIRows(p Params) ([]TableIRow, uint64, error) {
 		// is near-deterministic at convergence. Workers 1: trials already
 		// fan out through RunStaticParallel.
 		{"aggregation", "aggregation", 0x2200, 0x2201, min(3, p.TableRuns),
-			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1}},
+			registry.Options{Rounds: p.EpochLen, Shards: p.Shards, Workers: 1, Shuffle: p.Shuffle}},
 	}
 	type groupOut struct {
 		res  *core.StaticResult

@@ -51,6 +51,7 @@ func traceInstances(p Params, stream uint64) ([]monitor.Instance, error) {
 		Rounds:  p.EpochLen,
 		Shards:  p.Shards,
 		Workers: inner,
+		Shuffle: p.Shuffle,
 	}
 	out := make([]monitor.Instance, len(roster))
 	selected := make(map[string]bool, len(roster))

@@ -1,0 +1,475 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"p2psize/internal/xrand"
+)
+
+// toyPair is the deferred payload of the test family below.
+type toyPair struct{ u, v int32 }
+
+// toyFamily is a minimal engine-driven protocol for the engine tests:
+// n values, each visit draws a uniform partner and both sides average.
+// It exercises every engine feature the real families use — meters,
+// ownership, deferral, resolution — with arithmetic simple enough that
+// divergence is unambiguous.
+type toyFamily struct {
+	vals   []float64
+	msgs   uint64
+	engine RoundEngine[toyPair]
+}
+
+func newToy(n int) *toyFamily {
+	f := &toyFamily{vals: make([]float64, n)}
+	for i := range f.vals {
+		f.vals[i] = float64(i)
+	}
+	return f
+}
+
+func (f *toyFamily) apply(u, v int32) {
+	m := (f.vals[u] + f.vals[v]) / 2
+	f.vals[u], f.vals[v] = m, m
+}
+
+func (f *toyFamily) sweep(visited *[]int32) *Sweep[toyPair] {
+	n := len(f.vals)
+	return &Sweep[toyPair]{
+		N:       n,
+		NumKeys: n,
+		Key:     func(elem int32) int32 { return elem },
+		Visit: func(sh *Shard[toyPair], elem int32, rng *xrand.Rand) error {
+			if visited != nil {
+				*visited = append(*visited, elem)
+			}
+			v := int32(rng.Intn(n))
+			sh.Meters[0]++
+			if t := sh.Owner(v); t == sh.Index {
+				f.apply(elem, v)
+			} else {
+				sh.Defer(t, toyPair{u: elem, v: v})
+			}
+			return nil
+		},
+		Merge: func(sh *Shard[toyPair]) { f.msgs += sh.Meters[0] },
+		Resolve: func(d toyPair, _ *xrand.Rand) error {
+			f.apply(d.u, d.v)
+			return nil
+		},
+	}
+}
+
+func runToy(t *testing.T, n, rounds int, cfg EngineConfig, seed uint64) ([]float64, uint64) {
+	t.Helper()
+	f := newToy(n)
+	rng := xrand.New(seed)
+	sw := f.sweep(nil)
+	for r := 0; r < rounds; r++ {
+		if err := f.engine.Round(rng, cfg, sw); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	return f.vals, f.msgs
+}
+
+// TestEngineDeterministicAcrossWorkers is the engine-level determinism
+// suite: for both shuffle modes and shard counts 1/4/7, the output at
+// workers 2 and 8 must be byte-identical to workers 1. It replaces the
+// three per-family copies of this invariant as the first line of
+// defense (the families keep their own end-to-end versions).
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	const n, rounds, seed = 1000, 3, 42
+	for _, mode := range []ShuffleMode{ShuffleGlobal, ShuffleLocal} {
+		for _, shards := range []int{1, 4, 7} {
+			base, baseMsgs := runToy(t, n, rounds, EngineConfig{Shards: shards, Workers: 1, Shuffle: mode}, seed)
+			for _, workers := range []int{2, 8} {
+				got, gotMsgs := runToy(t, n, rounds, EngineConfig{Shards: shards, Workers: workers, Shuffle: mode}, seed)
+				if gotMsgs != baseMsgs {
+					t.Fatalf("%v shards=%d workers=%d: msgs %d != %d", mode, shards, workers, gotMsgs, baseMsgs)
+				}
+				for i := range base {
+					if got[i] != base[i] {
+						t.Fatalf("%v shards=%d workers=%d: vals diverge at %d", mode, shards, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineGlobalShuffleIsLegacyDrawOrder pins the compatibility mode
+// bit for bit: the sweep visits elements in exactly the order a manual
+// Fisher–Yates shuffle on the protocol rng produces, and the protocol
+// rng advances by exactly that shuffle plus one round-seed draw — the
+// contract every frozen experiment checksum depends on.
+func TestEngineGlobalShuffleIsLegacyDrawOrder(t *testing.T) {
+	const n, seed = 257, 99
+	f := newToy(n)
+	var visited []int32
+	rng := xrand.New(seed)
+	if err := f.engine.Round(rng, EngineConfig{Shards: 1, Workers: 1}, f.sweep(&visited)); err != nil {
+		t.Fatal(err)
+	}
+	legacy := xrand.New(seed)
+	want := make([]int32, n)
+	for i := range want {
+		want[i] = int32(i)
+	}
+	legacy.Shuffle(n, func(i, j int) { want[i], want[j] = want[j], want[i] })
+	_ = legacy.Uint64() // the round seed
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visit order diverges from the legacy shuffle at %d: got %d want %d", i, visited[i], want[i])
+		}
+	}
+	if rng.Uint64() != legacy.Uint64() {
+		t.Fatal("protocol rng advanced differently from the legacy shuffle+seed sequence")
+	}
+}
+
+// TestEngineLocalShuffleRngCost pins the Amdahl fix: in ShuffleLocal
+// mode the protocol rng pays exactly one draw per round — the round
+// seed — regardless of n, instead of the N-1 swap draws of the global
+// shuffle.
+func TestEngineLocalShuffleRngCost(t *testing.T) {
+	const n, seed = 5000, 7
+	f := newToy(n)
+	rng := xrand.New(seed)
+	if err := f.engine.Round(rng, EngineConfig{Shards: 4, Workers: 2, Shuffle: ShuffleLocal}, f.sweep(nil)); err != nil {
+		t.Fatal(err)
+	}
+	ref := xrand.New(seed)
+	_ = ref.Uint64() // the round seed
+	if rng.Uint64() != ref.Uint64() {
+		t.Fatal("ShuffleLocal must cost exactly one protocol-rng draw per round")
+	}
+}
+
+// TestEngineLocalShuffleCoversEverySegment checks that ShuffleLocal
+// still sweeps every element exactly once, permuted within its own
+// segment: positions [s·n/S, (s+1)·n/S) hold exactly the elements of
+// that slice of the ascending base order.
+func TestEngineLocalShuffleCoversEverySegment(t *testing.T) {
+	const n, shards, seed = 1003, 4, 5
+	f := newToy(n)
+	var visited []int32
+	rng := xrand.New(seed)
+	cfg := EngineConfig{Shards: shards, Workers: 1, Shuffle: ShuffleLocal}
+	if err := f.engine.Round(rng, cfg, f.sweep(&visited)); err != nil {
+		t.Fatal(err)
+	}
+	if len(visited) != n {
+		t.Fatalf("visited %d of %d elements", len(visited), n)
+	}
+	// Workers=1 sweeps shards in order, so visited is segment-major.
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		seen := make(map[int32]bool, hi-lo)
+		for _, e := range visited[lo:hi] {
+			if e < int32(lo) || e >= int32(hi) {
+				t.Fatalf("shard %d visited element %d outside its segment [%d,%d)", s, e, lo, hi)
+			}
+			if seen[e] {
+				t.Fatalf("shard %d visited element %d twice", s, e)
+			}
+			seen[e] = true
+		}
+	}
+}
+
+// TestEnginePanicFailsRoundLoudly is the satellite bugfix test: a
+// panicking shard action must crash the round with a WorkerPanic
+// carrying the original value — never be swallowed by the worker pool —
+// at every worker count.
+func TestEnginePanicFailsRoundLoudly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: panicking Visit did not fail the round", workers)
+				}
+				wp, ok := v.(WorkerPanic)
+				if !ok {
+					t.Fatalf("workers=%d: recovered %T, want WorkerPanic", workers, v)
+				}
+				if wp.Value != "toy boom" {
+					t.Fatalf("workers=%d: panic value %v, want toy boom", workers, wp.Value)
+				}
+				if !strings.Contains(wp.String(), "toy boom") {
+					t.Fatalf("workers=%d: WorkerPanic.String() lost the value: %q", workers, wp.String())
+				}
+			}()
+			f := newToy(100)
+			sw := f.sweep(nil)
+			inner := sw.Visit
+			sw.Visit = func(sh *Shard[toyPair], elem int32, rng *xrand.Rand) error {
+				if elem == 57 {
+					panic("toy boom")
+				}
+				return inner(sh, elem, rng)
+			}
+			_ = f.engine.Round(xrand.New(1), EngineConfig{Shards: 4, Workers: workers}, sw)
+			t.Fatalf("workers=%d: round returned normally", workers)
+		}()
+	}
+}
+
+// TestEngineErrorAborts: a Visit or Resolve error aborts the round and
+// is returned at every worker count.
+func TestEngineErrorAborts(t *testing.T) {
+	boom := errors.New("visit failed")
+	for _, workers := range []int{1, 4} {
+		f := newToy(100)
+		sw := f.sweep(nil)
+		inner := sw.Visit
+		sw.Visit = func(sh *Shard[toyPair], elem int32, rng *xrand.Rand) error {
+			if elem == 31 {
+				return boom
+			}
+			return inner(sh, elem, rng)
+		}
+		if err := f.engine.Round(xrand.New(1), EngineConfig{Shards: 4, Workers: workers}, sw); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Visit error not propagated: %v", workers, err)
+		}
+		f = newToy(100)
+		sw = f.sweep(nil)
+		sw.Resolve = func(d toyPair, _ *xrand.Rand) error { return boom }
+		if err := f.engine.Round(xrand.New(1), EngineConfig{Shards: 4, Workers: workers}, sw); !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: Resolve error not propagated: %v", workers, err)
+		}
+	}
+}
+
+// TestEngineWarmBuffersStable is the footprint regression test: once an
+// engine has run a round at a given size, repeat rounds must reuse every
+// scratch buffer — sweep order, ownership table, shard states, deferral
+// buckets, tournament schedule — without reallocating.
+func TestEngineWarmBuffersStable(t *testing.T) {
+	const n, shards = 20000, 4
+	f := newToy(n)
+	rng := xrand.New(3)
+	cfg := EngineConfig{Shards: shards, Workers: 1}
+	sw := f.sweep(nil)
+	// Two warmup rounds reach the high-water marks.
+	for r := 0; r < 2; r++ {
+		if err := f.engine.Round(rng, cfg, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := &f.engine
+	order0, owner0, shards0 := &e.order[0], &e.ownerOf[0], &e.shards[0]
+	defCaps := make([][]int, shards)
+	for s := range e.shards {
+		for ti := range e.shards[s].def {
+			defCaps[s] = append(defCaps[s], cap(e.shards[s].def[ti]))
+		}
+	}
+	sched0 := &e.schedule[0]
+	for r := 0; r < 5; r++ {
+		if err := f.engine.Round(rng, cfg, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if &e.order[0] != order0 || &e.ownerOf[0] != owner0 || &e.shards[0] != shards0 {
+		t.Fatal("warm engine reallocated a core scratch buffer")
+	}
+	if &e.schedule[0] != sched0 {
+		t.Fatal("warm engine rebuilt the tournament schedule at a fixed shard count")
+	}
+	for s := range e.shards {
+		for ti := range e.shards[s].def {
+			if cap(e.shards[s].def[ti]) < defCaps[s][ti] {
+				t.Fatalf("shard %d deferral bucket %d shrank below its high-water capacity", s, ti)
+			}
+		}
+	}
+	// And the per-round allocation count is O(shards), never O(n): only
+	// the per-shard streams and the worker pool's bookkeeping allocate.
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := f.engine.Round(rng, cfg, sw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 64 {
+		t.Fatalf("warm round allocates %.0f times; scratch buffers are leaking", allocs)
+	}
+}
+
+// TestEngineDegenerateGeometry pins the edge cases all three families
+// now share: n=0 is a no-op that leaves the protocol rng untouched,
+// n=1 runs one visit, and Shards > n clamps to n shards — each
+// deterministic across worker counts and identical in both modes'
+// contract (mode only changes draws, never legality).
+func TestEngineDegenerateGeometry(t *testing.T) {
+	for _, mode := range []ShuffleMode{ShuffleGlobal, ShuffleLocal} {
+		// n = 0: nothing runs, no draw is consumed.
+		f := newToy(0)
+		rng := xrand.New(11)
+		if err := f.engine.Round(rng, EngineConfig{Shards: 4, Shuffle: mode}, f.sweep(nil)); err != nil {
+			t.Fatalf("%v n=0: %v", mode, err)
+		}
+		if got, want := rng.Uint64(), xrand.New(11).Uint64(); got != want {
+			t.Fatalf("%v n=0: protocol rng was advanced", mode)
+		}
+		// n = 1: exactly one visit.
+		var visited []int32
+		f = newToy(1)
+		if err := f.engine.Round(xrand.New(11), EngineConfig{Shards: 4, Shuffle: mode}, f.sweep(&visited)); err != nil {
+			t.Fatalf("%v n=1: %v", mode, err)
+		}
+		if len(visited) != 1 || visited[0] != 0 {
+			t.Fatalf("%v n=1: visited %v, want [0]", mode, visited)
+		}
+		// n < Shards: clamps, still visits everyone exactly once, and
+		// stays worker-invariant.
+		const n = 3
+		base, baseMsgs := runToy(t, n, 2, EngineConfig{Shards: 7, Workers: 1, Shuffle: mode}, 11)
+		got, gotMsgs := runToy(t, n, 2, EngineConfig{Shards: 7, Workers: 8, Shuffle: mode}, 11)
+		if gotMsgs != baseMsgs || fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Fatalf("%v n<Shards: workers changed output", mode)
+		}
+		if baseMsgs != 2*n {
+			t.Fatalf("%v n<Shards: %d visits metered, want %d", mode, baseMsgs, 2*n)
+		}
+	}
+}
+
+// TestEngineSingleShardDrainsStaleDeferrals guards the bucket-reuse
+// trap: after a multi-shard round leaves deferral buckets at their
+// high-water sizes, a later single-shard round on the same engine must
+// read DeferredTotal() == 0, not the previous round's leftovers.
+func TestEngineSingleShardDrainsStaleDeferrals(t *testing.T) {
+	f := newToy(1000)
+	rng := xrand.New(17)
+	sw := f.sweep(nil)
+	if err := f.engine.Round(rng, EngineConfig{Shards: 4, Workers: 1}, sw); err != nil {
+		t.Fatal(err)
+	}
+	maxDeferred := 0
+	inner := sw.Merge
+	sw.Merge = func(sh *Shard[toyPair]) {
+		if d := sh.DeferredTotal(); d > maxDeferred {
+			maxDeferred = d
+		}
+		inner(sh)
+	}
+	if err := f.engine.Round(rng, EngineConfig{Shards: 1, Workers: 1}, sw); err != nil {
+		t.Fatal(err)
+	}
+	if maxDeferred != 0 {
+		t.Fatalf("single-shard round saw %d stale deferred payloads", maxDeferred)
+	}
+}
+
+// TestEnginePairStreams checks the tournament stream plumbing: with
+// PairStreams set, every meeting's Resolve calls share one non-nil
+// stream per meeting; without it, Resolve receives nil.
+func TestEnginePairStreams(t *testing.T) {
+	const n, shards = 1000, 4
+	f := newToy(n)
+	sw := f.sweep(nil)
+	sawNil, sawStream := false, false
+	sw.Resolve = func(d toyPair, rng *xrand.Rand) error {
+		if rng == nil {
+			sawNil = true
+		} else {
+			sawStream = true
+		}
+		f.apply(d.u, d.v)
+		return nil
+	}
+	if err := f.engine.Round(xrand.New(23), EngineConfig{Shards: shards}, sw); err != nil {
+		t.Fatal(err)
+	}
+	if !sawNil || sawStream {
+		t.Fatal("PairStreams=false must hand Resolve a nil rng")
+	}
+	f = newToy(n)
+	sw = f.sweep(nil)
+	sawNil, sawStream = false, false
+	sw.PairStreams = true
+	base := sw.Resolve
+	sw.Resolve = func(d toyPair, rng *xrand.Rand) error {
+		if rng == nil {
+			sawNil = true
+		} else {
+			sawStream = true
+		}
+		return base(d, nil)
+	}
+	if err := f.engine.Round(xrand.New(23), EngineConfig{Shards: shards}, sw); err != nil {
+		t.Fatal(err)
+	}
+	if sawNil || !sawStream {
+		t.Fatal("PairStreams=true must hand Resolve the meeting stream")
+	}
+}
+
+func TestParseShuffleMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ShuffleMode
+		ok   bool
+	}{
+		{"", ShuffleGlobal, true},
+		{"global", ShuffleGlobal, true},
+		{"local", ShuffleLocal, true},
+		{"localshuffle", ShuffleLocal, true},
+		{"bogus", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseShuffleMode(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Fatalf("ParseShuffleMode(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("ParseShuffleMode(%q) accepted", c.in)
+		}
+	}
+	if ShuffleGlobal.String() != "global" || ShuffleLocal.String() != "local" {
+		t.Fatal("ShuffleMode.String spellings drifted from the parser")
+	}
+}
+
+func TestEngineConfigValidate(t *testing.T) {
+	if err := (EngineConfig{Shards: MaxConfigShards}).Validate(); err != nil {
+		t.Fatalf("max shard count rejected: %v", err)
+	}
+	if err := (EngineConfig{Shards: MaxConfigShards + 1}).Validate(); err == nil {
+		t.Fatal("oversized shard count accepted")
+	}
+	if err := (EngineConfig{Shards: -1}).Validate(); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	if err := (EngineConfig{Shuffle: ShuffleLocal + 1}).Validate(); err == nil {
+		t.Fatal("unknown shuffle mode accepted")
+	}
+}
+
+// TestMapPanicLowestIndex pins Map's panic contract directly: when
+// several indices panic, the one re-raised is the lowest — the same
+// crash a sequential loop would have hit first — at every worker count.
+func TestMapPanicLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				wp, ok := recover().(WorkerPanic)
+				if !ok || wp.Index != 2 {
+					t.Fatalf("workers=%d: recovered %+v, want WorkerPanic at index 2", workers, wp)
+				}
+			}()
+			_, _ = Map(workers, 40, func(i int) (int, error) {
+				if i == 2 || i == 5 {
+					panic(fmt.Sprintf("boom %d", i))
+				}
+				return i, nil
+			})
+			t.Fatalf("workers=%d: Map returned normally", workers)
+		}()
+	}
+}

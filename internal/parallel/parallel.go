@@ -20,7 +20,9 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -116,45 +118,79 @@ func RoundRobinPairs(n int) [][][2]int {
 	return rounds
 }
 
+// WorkerPanic is the panic value Map re-raises on the calling goroutine
+// when fn(i) panicked inside the pool. Each panicking index is captured
+// where it happened (the remaining indices still run), and the panic of
+// the lowest index is re-raised — the same one a sequential loop would
+// have hit first — so even crashes are identical at every worker count.
+type WorkerPanic struct {
+	// Index is the work index whose fn call panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack string
+}
+
+func (p WorkerPanic) String() string {
+	return fmt.Sprintf("parallel: panic at index %d: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
 // Map runs fn(i) for every i in [0, n) on a pool of workers goroutines
 // and returns the results ordered by index. fn must be safe for
 // concurrent invocation across distinct indices and must derive any
 // randomness from i alone; the output is then independent of the worker
 // count. If any indices fail, the error of the lowest failing index is
 // returned (all indices still run, so the choice of error is itself
-// deterministic).
+// deterministic). A panicking fn never kills a pool goroutine silently:
+// every index still runs, and the panic of the lowest panicking index is
+// re-raised on the calling goroutine as a WorkerPanic.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
 	}
 	errs := make([]error, n)
+	panics := make([]*WorkerPanic, n)
+	runIndex := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				panics[i] = &WorkerPanic{Index: i, Value: v, Stack: string(debug.Stack())}
+			}
+		}()
+		out[i], errs[i] = fn(i)
+	}
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = fn(i)
+			runIndex(i)
 		}
-		return out, firstError(errs)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runIndex(i)
 				}
-				out[i], errs[i] = fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(*p)
+		}
+	}
 	return out, firstError(errs)
 }
 

@@ -19,13 +19,14 @@
 // semantics — departures remove mass, arrivals join on first contact —
 // and the same fragmentation failure mode in shrinking scenarios.
 //
-// The round sweep is sharded exactly like aggregation.RunRound: the
-// shuffled order is cut into Config.Shards contiguous segments, each
-// drawing from its own per-round xrand stream, and pushes whose target
-// lives in another shard are deferred to the fixed round-robin
-// tournament of shard pairs (parallel.RoundRobinPairs). The shard count
-// is part of the algorithm; Config.Workers only schedules the shards
-// and never changes output.
+// The round sweep runs on the shared sharded-round engine
+// (parallel.RoundEngine), exactly like aggregation.RunRound: the sweep
+// order is cut into Config.Shards segments, each drawing from its own
+// per-round xrand stream, and pushes whose target lives in another
+// shard are deferred to the engine's fixed round-robin tournament of
+// shard pairs. The shard count and Config.Shuffle are part of the
+// algorithm; Config.Workers only schedules the shards and never
+// changes output.
 package pushsum
 
 import (
@@ -55,6 +56,16 @@ type Config struct {
 	// 0 means runtime.NumCPU(), 1 forces sequential execution. Workers
 	// only changes wall time, never output.
 	Workers int
+	// Shuffle selects the sweep-order randomization: the default
+	// ShuffleGlobal reproduces the frozen serial-shuffle draw order,
+	// ShuffleLocal shuffles per shard inside the parallel phase. Part of
+	// the output, like Shards.
+	Shuffle parallel.ShuffleMode
+}
+
+// engine projects the sharded-round knobs onto the engine's config.
+func (c Config) engine() parallel.EngineConfig {
+	return parallel.EngineConfig{Shards: c.Shards, Workers: c.Workers, Shuffle: c.Shuffle}
 }
 
 // Default returns the 50-round configuration.
@@ -64,8 +75,8 @@ func (c *Config) validate() error {
 	if c.RoundsPerEpoch < 1 {
 		return errors.New("pushsum: RoundsPerEpoch must be >= 1")
 	}
-	if c.Shards < 0 || c.Shards > parallel.MaxConfigShards {
-		return fmt.Errorf("pushsum: Shards must be in [0, %d]", parallel.MaxConfigShards)
+	if err := c.engine().Validate(); err != nil {
+		return fmt.Errorf("pushsum: %w", err)
 	}
 	return nil
 }
@@ -81,9 +92,7 @@ type Protocol struct {
 	epochOf   []uint32  // epoch tag a node participates in
 	epoch     uint32
 	initiator graph.NodeID
-	order     []int32      // scratch: shuffled alive indices
-	ownerOf   []uint16     // scratch: shard owning each node this round
-	shards    []shardState // scratch: per-shard sweep output
+	engine    parallel.RoundEngine[push] // owns all sharded-sweep scratch
 }
 
 // push is one deferred cross-shard delivery: half of u's pair headed
@@ -91,15 +100,6 @@ type Protocol struct {
 type push struct {
 	v    graph.NodeID
 	s, w float64
-}
-
-// shardState collects what one shard produces during the parallel phase
-// of a round: its message count (merged into the meter in shard order)
-// and, per target shard, the deliveries it had to defer because the
-// drawn neighbor belongs there.
-type shardState struct {
-	msgs uint64
-	def  [][]push // indexed by the target's shard
 }
 
 // New builds a Protocol; it panics on invalid configuration.
@@ -194,12 +194,13 @@ func (p *Protocol) halve(u graph.NodeID) (s, w float64) {
 // their pair to the drawn neighbor, which joins the epoch on first
 // contact. It panics if called before StartEpoch.
 //
-// The sweep shards like aggregation.RunRound: a shard debits and
-// delivers immediately when the drawn neighbor lies in its own segment
-// and defers the (already debited) delivery otherwise; deferred pushes
-// are applied in the fixed round-robin tournament of shard pairs, so
-// the result depends only on (seed, config, overlay), never on
-// Config.Workers or scheduling.
+// The sweep runs on the shared sharded-round engine, like
+// aggregation.RunRound: a shard debits and delivers immediately when
+// the drawn neighbor lies in its own segment and defers the (already
+// debited) delivery otherwise; deferred pushes are applied in the
+// engine's fixed round-robin tournament of shard pairs, so the result
+// depends only on (seed, config, overlay), never on Config.Workers or
+// scheduling.
 func (p *Protocol) RunRound(net *overlay.Network) {
 	if p.epoch == 0 {
 		panic("pushsum: RunRound before StartEpoch")
@@ -210,18 +211,6 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 	if n == 0 {
 		return
 	}
-	if cap(p.order) < n {
-		p.order = make([]int32, n)
-	}
-	p.order = p.order[:n]
-	for i := range p.order {
-		p.order[i] = int32(i)
-	}
-	p.rng.Shuffle(n, func(i, j int) { p.order[i], p.order[j] = p.order[j], p.order[i] })
-	// All per-node draws below come from streams of this one draw, so
-	// the protocol rng advances identically at every shard count.
-	roundSeed := p.rng.Uint64()
-	shards := parallel.Shards(p.cfg.Shards, n)
 	// Pushes are fire-and-forget: under a fault policy a lost push is
 	// still metered and the sender still halves, but the half-pair
 	// evaporates in transit — the mass-conservation failure drop causes.
@@ -241,106 +230,47 @@ func (p *Protocol) RunRound(net *overlay.Network) {
 		return pol != nil && pol.Unreachable(v)
 	}
 
-	if shards == 1 {
-		rng := xrand.NewStream(roundSeed, 0)
-		for _, idx := range p.order {
-			// Mutating churn never happens mid-round; alive list is stable.
-			u := g.AliveAt(int(idx))
+	sw := parallel.Sweep[push]{
+		N:       n,
+		NumKeys: g.NumIDs(),
+		// Mutating churn never happens mid-round; the alive list is
+		// stable, so position->ID is a pure mapping all round.
+		Key: func(elem int32) int32 { return g.AliveAt(int(elem)) },
+		Visit: func(sh *parallel.Shard[push], elem int32, rng *xrand.Rand) error {
+			u := g.AliveAt(int(elem))
 			v, ok := g.RandomNeighbor(u, rng)
 			if !ok {
-				continue
+				return nil
 			}
 			lost := (dropP > 0 && rng.Bernoulli(dropP)) || natLost(v)
-			net.Send(metrics.KindPush)
-			if p.participant(u) {
-				s, w := p.halve(u)
-				if lost {
-					continue
-				}
-				if pol != nil {
-					s *= pol.ReportScale(u)
-				}
-				p.deliver(v, s, w)
-			}
-		}
-		return
-	}
-
-	if cap(p.ownerOf) < g.NumIDs() {
-		p.ownerOf = make([]uint16, g.NumIDs())
-	}
-	p.ownerOf = p.ownerOf[:g.NumIDs()]
-	for len(p.shards) < shards {
-		p.shards = append(p.shards, shardState{})
-	}
-	// Ownership prepass, parallel: each shard stamps the nodes of its
-	// own segment (distinct entries, so no write is shared).
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			p.ownerOf[g.AliveAt(int(p.order[i]))] = uint16(s)
-		}
-		return nil
-	})
-	// Phase 1, parallel: each shard debits only nodes it owns and
-	// delivers only within its own segment; a push whose target lives
-	// elsewhere is debited now and its delivery deferred, so no pair is
-	// read or written by two shards and workers only shape scheduling.
-	_ = parallel.ForEach(p.cfg.Workers, shards, func(s int) error {
-		rng := xrand.NewStream(roundSeed, uint64(s))
-		sh := &p.shards[s]
-		sh.msgs = 0
-		for len(sh.def) < shards {
-			sh.def = append(sh.def, nil)
-		}
-		for t := range sh.def {
-			sh.def[t] = sh.def[t][:0]
-		}
-		for i := s * n / shards; i < (s+1)*n/shards; i++ {
-			u := g.AliveAt(int(p.order[i]))
-			v, ok := g.RandomNeighbor(u, rng)
-			if !ok {
-				continue
-			}
-			lost := (dropP > 0 && rng.Bernoulli(dropP)) || natLost(v)
-			sh.msgs++
+			sh.Meters[0]++ // push sent
 			if !p.participant(u) {
-				continue
+				return nil
 			}
 			ds, dw := p.halve(u)
 			if lost {
-				continue
+				return nil
 			}
 			if pol != nil {
 				ds *= pol.ReportScale(u)
 			}
-			if t := p.ownerOf[v]; t == uint16(s) {
+			if t := sh.Owner(v); t == sh.Index {
 				p.deliver(v, ds, dw)
 			} else {
-				sh.def[t] = append(sh.def[t], push{v: v, s: ds, w: dw})
-			}
-		}
-		return nil
-	})
-	// Meter merge in shard order (the totals are order-independent, the
-	// fixed order keeps even intermediate states deterministic).
-	for s := 0; s < shards; s++ {
-		net.SendN(metrics.KindPush, p.shards[s].msgs)
-	}
-	// Phase 2: the cross-shard tournament. Every meeting {a, b} only
-	// delivers to nodes owned by a or b, and no tournament round
-	// repeats a shard, so the meetings of one round run concurrently
-	// while the delivery order stays fixed by the schedule.
-	for _, round := range parallel.RoundRobinPairs(shards) {
-		_ = parallel.ForEach(p.cfg.Workers, len(round), func(i int) error {
-			a, b := round[i][0], round[i][1]
-			for _, pr := range p.shards[a].def[b] {
-				p.deliver(pr.v, pr.s, pr.w)
-			}
-			for _, pr := range p.shards[b].def[a] {
-				p.deliver(pr.v, pr.s, pr.w)
+				sh.Defer(t, push{v: v, s: ds, w: dw})
 			}
 			return nil
-		})
+		},
+		Merge: func(sh *parallel.Shard[push]) {
+			net.SendN(metrics.KindPush, sh.Meters[0])
+		},
+		Resolve: func(pr push, _ *xrand.Rand) error {
+			p.deliver(pr.v, pr.s, pr.w)
+			return nil
+		},
+	}
+	if err := p.engine.Round(p.rng, p.cfg.engine(), &sw); err != nil {
+		panic(fmt.Sprintf("pushsum: round sweep failed: %v", err))
 	}
 }
 

@@ -147,6 +147,67 @@ func TestShardCountIsPartOfTheAlgorithm(t *testing.T) {
 	}
 }
 
+// TestLocalShuffleWorkerCountInvariance extends the invariance to the
+// engine's ShuffleLocal mode: different draws from the global shuffle,
+// same worker-count independence.
+func TestLocalShuffleWorkerCountInvariance(t *testing.T) {
+	const n, rounds = 3000, 12
+	cfg := Config{RoundsPerEpoch: rounds, Shards: 4, Workers: 1, Shuffle: parallel.ShuffleLocal}
+	refS, refW, refMsgs := epochState(t, n, cfg, 93, rounds)
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		gotS, gotW, gotMsgs := epochState(t, n, cfg, 93, rounds)
+		if gotMsgs != refMsgs {
+			t.Fatalf("messages differ at workers=%d: %d vs %d", workers, gotMsgs, refMsgs)
+		}
+		for id := range refS {
+			if math.Float64bits(refS[id]) != math.Float64bits(gotS[id]) ||
+				math.Float64bits(refW[id]) != math.Float64bits(gotW[id]) {
+				t.Fatalf("state of node %d differs at workers=%d", id, workers)
+			}
+		}
+	}
+}
+
+// TestLocalShuffleStatisticalEquivalence is the acceptance gate for the
+// localshuffle knob: over 30 seeded one-epoch estimations the
+// local-shuffle estimator matches the global-shuffle one's mean and
+// spread within the family's statistical envelopes.
+func TestLocalShuffleStatisticalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 full epochs at n=2000")
+	}
+	const n, runs = 2000, 30
+	distribution := func(mode parallel.ShuffleMode) (mean, sd float64) {
+		var r stats.Running
+		for i := 0; i < runs; i++ {
+			net := hetNet(n, uint64(400+i))
+			cfg := Default()
+			cfg.Shards = 8
+			cfg.Workers = 1
+			cfg.Shuffle = mode
+			e := NewEstimator(cfg, xrand.New(uint64(800+i)))
+			est, err := e.Estimate(net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r.Add(est)
+		}
+		return r.Mean(), r.StdDev()
+	}
+	gMean, gSD := distribution(parallel.ShuffleGlobal)
+	lMean, lSD := distribution(parallel.ShuffleLocal)
+	if math.Abs(gMean/n-1) > 0.03 || math.Abs(lMean/n-1) > 0.03 {
+		t.Fatalf("means off truth: global %.1f, local %.1f (n=%d)", gMean, lMean, n)
+	}
+	if math.Abs(lMean-gMean)/n > 0.03 {
+		t.Fatalf("means diverge: global %.1f vs local %.1f", gMean, lMean)
+	}
+	if gSD/gMean > 0.10 || lSD/lMean > 0.10 {
+		t.Fatalf("spread too wide: global sd %.1f, local sd %.1f", gSD, lSD)
+	}
+}
+
 func TestEmptyOverlayErrors(t *testing.T) {
 	net := overlay.New(graph.New(0), 10, nil)
 	e := NewEstimator(Default(), xrand.New(1))

@@ -121,6 +121,7 @@ func init() {
 			}
 			cfg.Shards = o.Shards
 			cfg.Workers = o.Workers
+			cfg.Shuffle = o.Shuffle
 			return aggregation.NewEstimator(cfg, rng), nil
 		},
 	})
@@ -196,6 +197,7 @@ func init() {
 			}
 			cfg.Shards = o.Shards
 			cfg.Workers = o.Workers
+			cfg.Shuffle = o.Shuffle
 			return pushsum.NewEstimator(cfg, rng), nil
 		},
 	})

@@ -28,6 +28,7 @@ import (
 	"p2psize/internal/fault"
 	"p2psize/internal/idspace"
 	"p2psize/internal/overlay"
+	"p2psize/internal/parallel"
 	"p2psize/internal/xrand"
 )
 
@@ -54,6 +55,11 @@ type Options struct {
 	// Workers caps the goroutines sweeping one Aggregation round's
 	// shards (0 = all CPUs); never part of the output.
 	Workers int
+	// Shuffle selects the sharded sweeps' order randomization
+	// (parallel.ShuffleGlobal reproduces the frozen serial-shuffle draw
+	// order, parallel.ShuffleLocal shuffles per shard inside the
+	// parallel phase). Part of the output, like Shards.
+	Shuffle parallel.ShuffleMode
 	// ResponseProb is the polling reply probability (0 = 0.01).
 	ResponseProb float64
 	// IDSamples is the id-density probe count k (0 = 200).

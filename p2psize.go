@@ -371,6 +371,12 @@ type AggregationOptions struct {
 	// Workers caps the goroutines sweeping one round's shards (0 = all
 	// CPUs, 1 = sequential). Workers never changes the output.
 	Workers int
+	// Shuffle selects the sweep-order randomization: "" or "global"
+	// reproduces the frozen serial-shuffle draw order, "local" (alias
+	// "localshuffle") shuffles each shard's segment inside the parallel
+	// phase. Part of the output, like Shards; unknown spellings fall
+	// back to global.
+	Shuffle string
 	// Seed drives the estimator's randomness.
 	Seed uint64
 }
@@ -394,6 +400,9 @@ func NewAggregation(opts AggregationOptions) Estimator {
 		cfg.Shards = opts.Shards
 	}
 	cfg.Workers = opts.Workers
+	if mode, err := parallel.ParseShuffleMode(opts.Shuffle); err == nil {
+		cfg.Shuffle = mode
+	}
 	return aggAdapter{aggregation.NewEstimator(cfg, xrand.New(opts.Seed))}
 }
 
