@@ -13,7 +13,9 @@
 // -require lists experiment ids that must be present (and error-free) in
 // the NEW report; a missing or errored required id fails the diff even
 // when no wall time regressed. CI requires the perf-engine-{global,local}
-// pair so the shuffle-mode comparison can never silently drop out of
+// pair (the shuffle-mode Amdahl comparison) and the
+// perf-monitor-{perinstance,shared} pair (the replay-sharing wall-time
+// and alloc_bytes comparison) so neither can silently drop out of
 // BENCH_results.json.
 //
 // Usage:

@@ -25,11 +25,14 @@ type monitorOpts struct {
 	// cadences holds per-estimator overrides keyed by canonical
 	// registry family (from the -cadence name=value spec); families
 	// not listed sample every cadence time units.
-	cadences  map[string]float64
-	policy    string
-	window    int
-	alpha     float64
-	restart   float64
+	cadences map[string]float64
+	policy   string
+	window   int
+	alpha    float64
+	restart  float64
+	// replay is the -replay layout ("perinstance"/"shared"); validated
+	// in main, bit-identical results either way.
+	replay    string
 	saveTrace string
 	seed      uint64
 	workers   int
@@ -220,6 +223,7 @@ func runMonitor(o monitorOpts, specs []estimatorSpec) error {
 		Alpha:       o.alpha,
 		RestartJump: o.restart,
 		ReplaySeed:  o.seed + 1003,
+		Replay:      o.replay,
 		Workers:     o.workers,
 	})
 	if err != nil {
@@ -242,10 +246,11 @@ func runMonitor(o monitorOpts, specs []estimatorSpec) error {
 		fmt.Println()
 	}
 	fmt.Printf("\n%s", res)
-	// The monitor replays the trace on per-instance clones; net itself
-	// still holds the initial topology, only its meter accumulated.
-	fmt.Printf("\ntotal message cost: %d across %d estimators\n",
-		net.Messages(), len(ests))
+	// The monitor replays the trace on clones of net — one per replay
+	// group — so net itself still holds the initial topology, only its
+	// meter accumulated.
+	fmt.Printf("\ntotal message cost: %d across %d estimators (%d replay groups)\n",
+		net.Messages(), len(ests), res.Groups())
 	return nil
 }
 

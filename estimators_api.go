@@ -39,6 +39,11 @@ type EstimatorInfo struct {
 	// the overlay's sends are carried by a real transport — the families
 	// RunCluster may drive.
 	SupportsTransport bool
+	// MutatesOverlay marks families whose instances may rewire the
+	// overlay while estimating (the cyclon-backed gossip families).
+	// Observe-only families (false) are eligible for shared-replay
+	// grouping under MonitorOptions.Replay "shared".
+	MutatesOverlay bool
 }
 
 // Estimators returns every registered estimator family, built-ins and
@@ -56,6 +61,7 @@ func Estimators() []EstimatorInfo {
 			SupportsDynamic:    d.SupportsDynamic,
 			SupportsMonitoring: d.SupportsMonitoring,
 			SupportsTransport:  d.SupportsTransport,
+			MutatesOverlay:     d.MutatesOverlay,
 		}
 	}
 	return out
@@ -214,11 +220,36 @@ func (w coreWrap) Estimate(n *Network) (float64, error) {
 	return w.e.Estimate(n.net)
 }
 
-type publicWrap struct{ e Estimator }
+// MutatesOverlay surfaces the wrapped internal estimator's capability,
+// so a built-in family handed out by NewEstimatorByName keeps its
+// shared-replay eligibility when it comes back through RunMonitor.
+func (w coreWrap) MutatesOverlay() bool { return core.MutatesOverlay(w.e) }
+
+type publicWrap struct {
+	e Estimator
+	// observeOnly forces the read-only capability on behalf of a
+	// registration that declared it (CustomEstimator.ObserveOnly); the
+	// public type itself need not implement the method.
+	observeOnly bool
+}
 
 func (w publicWrap) Name() string { return w.e.Name() }
 func (w publicWrap) Estimate(o *overlay.Network) (float64, error) {
 	return w.e.Estimate(&Network{net: o})
+}
+
+// MutatesOverlay forwards the public estimator's own declaration when
+// it makes one (a MutatesOverlay() bool method), and otherwise reports
+// true — an undeclared estimator is conservatively assumed to rewire
+// the overlay, which keeps it on a private clone in every replay mode.
+func (w publicWrap) MutatesOverlay() bool {
+	if w.observeOnly {
+		return false
+	}
+	if m, ok := w.e.(interface{ MutatesOverlay() bool }); ok {
+		return m.MutatesOverlay()
+	}
+	return true
 }
 
 // toPublic lifts an internal estimator onto the public contract.
@@ -234,7 +265,7 @@ func toCore(e Estimator) core.Estimator {
 	if w, ok := e.(coreWrap); ok {
 		return w.e
 	}
-	return publicWrap{e}
+	return publicWrap{e: e}
 }
 
 // CustomEstimator registers a user-supplied estimator family.
@@ -249,6 +280,14 @@ type CustomEstimator struct {
 	// be scheduled; see EstimatorInfo.
 	SupportsDynamic    bool
 	SupportsMonitoring bool
+	// ObserveOnly declares that instances never rewire the overlay they
+	// estimate on, making them eligible for shared-replay grouping
+	// (MonitorOptions.Replay "shared"). The zero value is the safe
+	// conservative default: an undeclared family is assumed to mutate
+	// and always monitors on a private clone. Estimator types may
+	// equivalently implement MutatesOverlay() bool themselves, which
+	// also survives round trips through NewEstimatorByName.
+	ObserveOnly bool
 	// New builds one instance; it must derive all randomness from seed
 	// (equal seeds, equal estimators) for the harness's determinism
 	// guarantees to hold.
@@ -272,6 +311,7 @@ func RegisterEstimator(c CustomEstimator) error {
 		return errors.New("p2psize: CustomEstimator.New must not be nil")
 	}
 	mk := c.New
+	observeOnly := c.ObserveOnly
 	return registry.Register(registry.Descriptor{
 		Name:               c.Name,
 		Aliases:            append([]string(nil), c.Aliases...),
@@ -281,13 +321,25 @@ func RegisterEstimator(c CustomEstimator) error {
 		CadenceHint:        1,
 		SupportsDynamic:    c.SupportsDynamic,
 		SupportsMonitoring: c.SupportsMonitoring,
+		MutatesOverlay:     !c.ObserveOnly,
 		StreamOffset:       customOffset.Add(1),
 		New: func(_ *overlay.Network, rng *xrand.Rand, _ registry.Options) (core.Estimator, error) {
 			e, err := mk(rng.Uint64())
 			if err != nil {
 				return nil, err
 			}
-			return toCore(e), nil
+			ce := toCore(e)
+			if observeOnly {
+				// Stamp the declared capability onto the adapter so the
+				// monitor's grouping sees it even when the estimator type
+				// itself does not implement OverlayMutator.
+				if w, ok := ce.(publicWrap); ok {
+					w.observeOnly = true
+					return w, nil
+				}
+				return publicWrap{e: e, observeOnly: true}, nil
+			}
+			return ce, nil
 		},
 	})
 }

@@ -373,6 +373,12 @@ func NewEstimator(cfg Config, rng *xrand.Rand) *Estimator {
 // Name identifies the estimator in reports.
 func (e *Estimator) Name() string { return e.p.Name() }
 
+// MutatesOverlay reports true (core.OverlayMutator): the epidemic class
+// is cyclon-backed in deployment, where every exchange rewires views —
+// the monitor must give it a private overlay clone even though the
+// simulated rounds here leave the graph untouched.
+func (e *Estimator) MutatesOverlay() bool { return true }
+
 // Protocol exposes the underlying protocol instance.
 func (e *Estimator) Protocol() *Protocol { return e.p }
 

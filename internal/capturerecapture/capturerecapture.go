@@ -98,6 +98,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("capture-recapture(marks=%d,recaptures=%d)", e.cfg.Marks, e.cfg.Recaptures)
 }
 
+// MutatesOverlay reports false: marking and recapturing only walk the
+// overlay (core.OverlayMutator), so the monitor may use a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

@@ -29,6 +29,27 @@ type Estimator interface {
 	Estimate(net *overlay.Network) (float64, error)
 }
 
+// OverlayMutator is the optional capability interface an Estimator
+// implements to declare whether its Estimate calls mutate the overlay
+// graph (rewire links, as a deployed cyclon-backed epidemic family
+// would) or only observe it (walks, polls, probes). Read-only
+// estimators can share one overlay clone — and one trace replay — per
+// cadence group in the monitor's shared-replay mode.
+type OverlayMutator interface {
+	// MutatesOverlay reports whether Estimate mutates the overlay.
+	MutatesOverlay() bool
+}
+
+// MutatesOverlay reports whether e declares itself overlay-mutating.
+// Estimators that do not implement OverlayMutator are conservatively
+// treated as mutating: an unknown estimator never rides a shared clone.
+func MutatesOverlay(e Estimator) bool {
+	if m, ok := e.(OverlayMutator); ok {
+		return m.MutatesOverlay()
+	}
+	return true
+}
+
 // LastK is the paper's smoothing window: "last10runs is the average of
 // the 10 last estimations".
 const LastK = 10

@@ -101,6 +101,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("dht-density(k=%d,probes=%d)", e.cfg.K, e.cfg.Probes)
 }
 
+// MutatesOverlay reports false: density probes only route and measure
+// (core.OverlayMutator), so the monitor may run them on a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

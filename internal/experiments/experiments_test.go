@@ -43,6 +43,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig15", "fig16", "fig17", "fig18",
 		"perf-agg-seq", "perf-agg-shard", "perf-cyclon-seq", "perf-cyclon-shard",
 		"perf-engine-global", "perf-engine-local",
+		"perf-monitor-perinstance", "perf-monitor-shared",
 		"robustness-adversary", "robustness-delay", "robustness-drop",
 		"robustness-dup", "robustness-nat", "robustness-partition",
 		"static-new", "table1",

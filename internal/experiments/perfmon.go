@@ -1,0 +1,82 @@
+package experiments
+
+// Replay-sharing benchmarks as first-class experiments: the identical
+// trace-monitoring workload is registered twice, once with the
+// historical per-instance replay and once with shared (per-cadence-
+// group) replay. Both land in every suite report — and therefore in
+// BENCH_results.json — so cmd/benchdiff gates the pair PR-over-PR and
+// the wall-time/alloc columns document what clone sharing buys on the
+// hardware that produced the report. The roster is pinned to read-only
+// families on one cadence, so shared mode folds the whole roster into
+// a single replay group while per-instance mode drives one replay per
+// family; the monitor's bit-equality contract (see the shared-replay
+// tests) guarantees both experiments plot byte-identical series.
+
+import (
+	"runtime"
+
+	"p2psize/internal/core"
+	"p2psize/internal/fault"
+	"p2psize/internal/monitor"
+	"p2psize/internal/trace"
+	"p2psize/internal/xrand"
+)
+
+func init() {
+	register("perf-monitor-perinstance", func(p Params) (*Figure, error) {
+		return perfMonitorTrace("perf-monitor-perinstance",
+			"Trace monitoring, per-instance replay baseline", p, monitor.ReplayPerInstance)
+	})
+	register("perf-monitor-shared", func(p Params) (*Figure, error) {
+		return perfMonitorTrace("perf-monitor-shared",
+			"Trace monitoring, shared per-cadence-group replay", p, monitor.ReplayShared)
+	})
+}
+
+// perfMonitorRoster pins the monitored families for the perf pair:
+// every read-only (observe-only) family that supports continuous
+// monitoring. All five share the base cadence, so ReplayShared runs
+// ONE clone + replay for the lot where ReplayPerInstance runs five.
+var perfMonitorRoster = []string{
+	"capturerecapture", "dht", "hopssampling", "polling", "samplecollide",
+}
+
+// perfMonitorTrace replays a heavy-tailed churn trace over a 1M-node
+// overlay under the given replay mode. The two registered modes differ
+// ONLY in Params.Replay — same trace, same roster, same seeds — so any
+// wall-time or allocation gap between the pair is the replay sharing,
+// nothing else.
+func perfMonitorTrace(id, title string, p Params, mode monitor.ReplayMode) (*Figure, error) {
+	p.Replay = mode
+	p.Estimators = append([]string(nil), perfMonitorRoster...)
+	p.Cadences = nil        // uniform cadence: the roster folds into one shared group
+	p.Faults = fault.Spec{} // a fault scenario would measure the faults, not the replay
+	tr, err := trace.Generate(trace.Config{
+		Name:    "perfmon-weibull",
+		Initial: p.N1M,
+		Horizon: p.TraceHorizon,
+		Session: trace.SessionDist{Kind: trace.Weibull, Mean: p.TraceHorizon, Shape: 0.5},
+	}, xrand.New(p.Seed+0x5302))
+	if err != nil {
+		return nil, err
+	}
+	// TotalAlloc delta around the run: cumulative allocation, immune to
+	// intervening GCs (unlike HeapAlloc). Process-wide, so concurrent
+	// suite neighbors inflate it — indicative there, exact in the
+	// isolated bench runs that feed BENCH_results.json comparisons.
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fig, err := runTrace(id, title, tr, monitor.Policy{Smoothing: monitor.Window, Window: core.LastK}, p, 0x5300)
+	if err != nil {
+		return nil, err
+	}
+	runtime.ReadMemStats(&after)
+	fig.AllocBytes = after.TotalAlloc - before.TotalAlloc
+	layout := "one replay per instance"
+	if mode == monitor.ReplayShared {
+		layout = "one shared replay group"
+	}
+	fig.AddNote("replay=%s: %d read-only families on the base cadence, %s; alloc_bytes is the process-wide TotalAlloc delta around the run",
+		mode, len(perfMonitorRoster), layout)
+	return fig, nil
+}

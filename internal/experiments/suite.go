@@ -31,11 +31,15 @@ type SeriesSummary struct {
 
 // ExperimentReport is the machine-readable record of one experiment run.
 type ExperimentReport struct {
-	ID       string          `json:"id"`
-	Title    string          `json:"title,omitempty"`
-	WallMS   float64         `json:"wall_ms"`
-	Messages uint64          `json:"messages"`
-	Series   []SeriesSummary `json:"series,omitempty"`
+	ID       string  `json:"id"`
+	Title    string  `json:"title,omitempty"`
+	WallMS   float64 `json:"wall_ms"`
+	Messages uint64  `json:"messages"`
+	// AllocBytes pairs the wall time with the experiment's measured
+	// heap allocation (perf-monitor-* experiments only; see
+	// Figure.AllocBytes). Additive: other experiments omit the field.
+	AllocBytes uint64          `json:"alloc_bytes,omitempty"`
+	Series     []SeriesSummary `json:"series,omitempty"`
 	// Rankings carry the robustness-* experiments' per-family summaries
 	// (MAE/MAPE and latency percentiles), most robust first. Additive:
 	// reports from other experiments omit the field, so the schema
@@ -61,7 +65,13 @@ type SuiteReport struct {
 	// Shuffle records Params.Shuffle's spelling ("global"/"local"):
 	// like Shards it is part of the deterministic output. Older reports
 	// decode as "" (= global), which is what they ran with.
-	Shuffle     string             `json:"shuffle,omitempty"`
+	Shuffle string `json:"shuffle,omitempty"`
+	// Replay records Params.Replay's spelling ("perinstance"/"shared").
+	// Unlike Shards and Shuffle it is NOT part of the deterministic
+	// output — both replay modes produce bit-equal series — it records
+	// how the monitor mapped instances onto clones. Older reports
+	// decode as "" (= perinstance), which is what they ran with.
+	Replay      string             `json:"replay,omitempty"`
 	GoMaxProcs  int                `json:"gomaxprocs"`
 	N100k       int                `json:"n100k"`
 	N1M         int                `json:"n1m"`
@@ -91,11 +101,12 @@ func ChecksumSeries(s *metrics.Series) string {
 // is supplied by the caller (the suite measures it around the run).
 func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 	r := ExperimentReport{
-		ID:       fig.ID,
-		Title:    fig.Title,
-		WallMS:   float64(wall.Microseconds()) / 1000,
-		Messages: fig.Messages,
-		Notes:    len(fig.Notes),
+		ID:         fig.ID,
+		Title:      fig.Title,
+		WallMS:     float64(wall.Microseconds()) / 1000,
+		Messages:   fig.Messages,
+		AllocBytes: fig.AllocBytes,
+		Notes:      len(fig.Notes),
 	}
 	for _, s := range fig.Series {
 		r.Series = append(r.Series, SeriesSummary{
@@ -118,6 +129,7 @@ func Summarize(fig *Figure, wall time.Duration) ExperimentReport {
 var costHint = map[string]int{
 	"fig15": 100, "fig16": 100, "fig17": 100, // AggHorizon rounds × N100k sweeps
 	"trace-weibull": 60, "trace-diurnal": 60, "trace-flashcrowd": 60,
+	"perf-monitor-perinstance": 60, "perf-monitor-shared": 60, // 1M-node trace replays
 	"trace-ipfs":     25,                       // fixed 1,000-node empirical workload, 60 samples
 	"trace-ipfs-all": 45,                       // same workload, every monitoring-capable family
 	"static-new":     45,                       // 20 push-sum epochs at N100k dominate
@@ -215,6 +227,7 @@ func RunSuite(ids []string, p Params) (*SuiteReport, map[string]*Figure, error) 
 		Workers:    parallel.Resolve(p.Workers),
 		Shards:     p.Shards,
 		Shuffle:    p.Shuffle.String(),
+		Replay:     p.Replay.String(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		N100k:      p.N100k,
 		N1M:        p.N1M,

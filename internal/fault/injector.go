@@ -266,6 +266,12 @@ func Decorate(e core.Estimator, inj *Injector) *Estimator {
 // Name identifies the inner estimator in reports.
 func (f *Estimator) Name() string { return f.inner.Name() }
 
+// MutatesOverlay forwards the wrapped estimator's overlay-mutation
+// capability (core.OverlayMutator): fault injection perturbs message
+// fates, not the graph, so decoration must not demote a read-only
+// estimator to the conservative mutating default.
+func (f *Estimator) MutatesOverlay() bool { return core.MutatesOverlay(f.inner) }
+
 // Injector returns the injector bracketing this estimator.
 func (f *Estimator) Injector() *Injector { return f.inj }
 

@@ -198,3 +198,54 @@ func TestCloneCOWFootprint100k(t *testing.T) {
 	runtime.KeepAlive(deep)
 	runtime.KeepAlive(base)
 }
+
+func TestCOWFootprint1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-node footprint measurement")
+	}
+	const n = 1000000
+	base := Heterogeneous(n, 10, xrand.New(6))
+
+	// Up-front clone cost is O(N/pageSize) page headers plus the packed
+	// per-list ownership bitset (N/8 bytes) — a constant number of
+	// allocations and well under a megabyte at 1M, where the flat copy
+	// it replaced cost ~33MB.
+	if allocs := testing.AllocsPerRun(1, func() { base.CloneCOW() }); allocs > 10 {
+		t.Fatalf("CloneCOW made %.0f allocations; want O(1), not one per node", allocs)
+	}
+	before := heapInUse()
+	cow := base.CloneCOW()
+	cowBytes := heapInUse() - before
+	if cowBytes > n {
+		t.Fatalf("1M-node CloneCOW costs %d bytes up front; want O(N/pageSize) headers (~%d)", cowBytes, n/8)
+	}
+
+	// Thereafter the cost is O(touched pages): a light touch owns only
+	// the pages its writes land in.
+	rng := xrand.New(7)
+	for i := 0; i < 4; i++ {
+		if id, ok := cow.RandomAlive(rng); ok {
+			cow.RemoveNode(id)
+		}
+	}
+	total := cow.TotalPages()
+	if shared := cow.SharedPages(); shared < total*85/100 {
+		t.Fatalf("%d of %d bookkeeping pages shared after 4 removals; want >= 85%%", shared, total)
+	}
+
+	// 1% churn still leaves the overwhelming majority of adjacency lists
+	// shared, and the O(1) counter agrees with an explicit recount
+	// (CheckInvariants performs it).
+	for i := 0; i < n/100; i++ {
+		if id, ok := cow.RandomAlive(rng); ok {
+			cow.RemoveNode(id)
+		}
+	}
+	if shared := cow.SharedAdjacency(); shared < n*9/10 {
+		t.Fatalf("only %d of %d adjacency lists still shared after 1%% churn", shared, n)
+	}
+	if err := cow.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	runtime.KeepAlive(base)
+}

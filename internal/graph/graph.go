@@ -9,6 +9,11 @@
 // average degree 7.2 fits in a few hundred megabytes. All mutation keeps
 // the undirected invariant: v appears in adj[u] exactly when u appears in
 // adj[v], and never twice.
+//
+// The bookkeeping arrays live in fixed-size pages (paged.go) shared
+// between a graph and its CloneCOW clones until a page's first mutation,
+// so cloning costs O(N/pageSize) page headers instead of O(N) entries and
+// replayed churn pays only for the pages it touches.
 package graph
 
 import (
@@ -27,25 +32,32 @@ const None NodeID = -1
 // Graph is a mutable undirected graph with an explicit alive set.
 // It is not safe for concurrent mutation.
 type Graph struct {
-	adj      [][]NodeID
-	alive    []bool
-	aliveIDs []NodeID // compact list of alive nodes for O(1) sampling
-	alivePos []int32  // alivePos[id] = index into aliveIDs, -1 when dead
+	adj      pages[[]NodeID]
+	aliveIDs pages[NodeID] // compact list of alive nodes for O(1) sampling
+	alivePos pages[int32]  // alivePos[id] = index into aliveIDs, -1 when dead
 	edges    int
-	// owned tracks copy-on-write adjacency state: nil means every
-	// adjacency list belongs to this graph (the normal case); non-nil
-	// means lists with owned[id] == false are shared with the base graph
-	// of a CloneCOW and must be copied before their first mutation.
-	owned []bool
+
+	// Copy-on-write state for the adjacency lists themselves (the paged
+	// arrays above handle their own chunk-level sharing; each node's
+	// list additionally needs per-node ownership so an untouched list is
+	// never copied): cow marks the graph a CloneCOW clone; ids >= cowBase
+	// were created after the clone and always own their list; ownedAdj
+	// is a packed bitset over ids < cowBase with a set bit once the list
+	// was copied (or dropped); sharedAdj counts the lists still shared
+	// with the base, kept up to date on every first mutation so the
+	// diagnostic is O(1).
+	cow       bool
+	cowBase   int
+	ownedAdj  []uint64
+	sharedAdj int
 }
 
 // New returns an empty graph with capacity hint n.
 func New(n int) *Graph {
 	return &Graph{
-		adj:      make([][]NodeID, 0, n),
-		alive:    make([]bool, 0, n),
-		aliveIDs: make([]NodeID, 0, n),
-		alivePos: make([]int32, 0, n),
+		adj:      newPages[[]NodeID](n),
+		aliveIDs: newPages[NodeID](n),
+		alivePos: newPages[int32](n),
 	}
 }
 
@@ -60,25 +72,34 @@ func NewWithNodes(n int) *Graph {
 
 // AddNode creates a new alive node and returns its ID.
 func (g *Graph) AddNode() NodeID {
-	id := NodeID(len(g.adj))
-	g.adj = append(g.adj, nil)
-	g.alive = append(g.alive, true)
-	g.alivePos = append(g.alivePos, int32(len(g.aliveIDs)))
-	g.aliveIDs = append(g.aliveIDs, id)
-	if g.owned != nil {
-		g.owned = append(g.owned, true)
-	}
+	id := NodeID(g.adj.len())
+	g.adj.append(nil)
+	g.alivePos.append(int32(g.aliveIDs.len()))
+	g.aliveIDs.append(id)
 	return id
+}
+
+// adjOwned reports whether id's adjacency list belongs to this graph.
+func (g *Graph) adjOwned(id NodeID) bool {
+	return !g.cow || int(id) >= g.cowBase ||
+		g.ownedAdj[id>>6]&(1<<uint(id&63)) != 0
+}
+
+// markAdjOwned flips id's ownership bit and maintains the shared-list
+// counter. The caller guarantees the list was shared.
+func (g *Graph) markAdjOwned(id NodeID) {
+	g.ownedAdj[id>>6] |= 1 << uint(id&63)
+	g.sharedAdj--
 }
 
 // own makes id's adjacency list writable: lists still shared with a
 // CloneCOW base are copied on their first mutation.
 func (g *Graph) own(id NodeID) {
-	if g.owned == nil || g.owned[id] {
+	if g.adjOwned(id) {
 		return
 	}
-	g.adj[id] = append([]NodeID(nil), g.adj[id]...)
-	g.owned[id] = true
+	g.markAdjOwned(id)
+	g.adj.set(int(id), append([]NodeID(nil), g.adj.get(int(id))...))
 }
 
 // RemoveNode kills a node: all incident edges are removed and the node
@@ -87,37 +108,37 @@ func (g *Graph) own(id NodeID) {
 // create new links". Removing a dead node panics.
 func (g *Graph) RemoveNode(id NodeID) {
 	g.mustAlive(id)
-	for _, nb := range g.adj[id] {
+	for _, nb := range g.adj.get(int(id)) {
 		g.removeHalfEdge(nb, id)
 		g.edges--
 	}
-	if g.owned != nil && !g.owned[id] {
+	if !g.adjOwned(id) {
 		// Shared list: drop the reference instead of truncating in place
 		// (a later append must not scribble over the base's array).
-		g.adj[id] = nil
-		g.owned[id] = true
+		g.markAdjOwned(id)
+		g.adj.set(int(id), nil)
 	} else {
-		g.adj[id] = g.adj[id][:0]
+		g.adj.set(int(id), g.adj.get(int(id))[:0])
 	}
-	g.alive[id] = false
 	// Swap-delete from the alive list.
-	pos := g.alivePos[id]
-	last := g.aliveIDs[len(g.aliveIDs)-1]
-	g.aliveIDs[pos] = last
-	g.alivePos[last] = pos
-	g.aliveIDs = g.aliveIDs[:len(g.aliveIDs)-1]
-	g.alivePos[id] = -1
+	pos := g.alivePos.get(int(id))
+	last := g.aliveIDs.get(g.aliveIDs.len() - 1)
+	g.aliveIDs.set(int(pos), last)
+	g.alivePos.set(int(last), pos)
+	g.aliveIDs.truncate(g.aliveIDs.len() - 1)
+	g.alivePos.set(int(id), -1)
 }
 
 // removeHalfEdge deletes v from adj[u] (swap-delete). The caller
 // guarantees presence.
 func (g *Graph) removeHalfEdge(u, v NodeID) {
 	g.own(u)
-	a := g.adj[u]
+	au := g.adj.slot(int(u))
+	a := *au
 	for i, w := range a {
 		if w == v {
 			a[i] = a[len(a)-1]
-			g.adj[u] = a[:len(a)-1]
+			*au = a[:len(a)-1]
 			return
 		}
 	}
@@ -134,8 +155,10 @@ func (g *Graph) AddEdge(u, v NodeID) bool {
 	}
 	g.own(u)
 	g.own(v)
-	g.adj[u] = append(g.adj[u], v)
-	g.adj[v] = append(g.adj[v], u)
+	au := g.adj.slot(int(u))
+	*au = append(*au, v)
+	av := g.adj.slot(int(v))
+	*av = append(*av, u)
 	g.edges++
 	return true
 }
@@ -156,13 +179,14 @@ func (g *Graph) RemoveEdge(u, v NodeID) bool {
 // HasEdge reports whether u and v are linked. The scan runs over the
 // smaller adjacency list, which matters on scale-free hubs.
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	if int(u) >= len(g.adj) || int(v) >= len(g.adj) {
+	if int(u) >= g.adj.len() || int(v) >= g.adj.len() {
 		return false
 	}
-	if len(g.adj[u]) > len(g.adj[v]) {
-		u, v = v, u
+	au, av := g.adj.get(int(u)), g.adj.get(int(v))
+	if len(au) > len(av) {
+		au, v = av, u
 	}
-	for _, w := range g.adj[u] {
+	for _, w := range au {
 		if w == v {
 			return true
 		}
@@ -171,16 +195,16 @@ func (g *Graph) HasEdge(u, v NodeID) bool {
 }
 
 // Degree returns the number of live links of id (0 for dead nodes).
-func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+func (g *Graph) Degree(id NodeID) int { return len(g.adj.get(int(id))) }
 
 // Neighbors returns the adjacency list of id as a shared view; callers
 // must not modify it and must not hold it across mutations.
-func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj[id] }
+func (g *Graph) Neighbors(id NodeID) []NodeID { return g.adj.get(int(id)) }
 
 // RandomNeighbor returns a uniformly random neighbor of id, or (None,
 // false) for an isolated node.
 func (g *Graph) RandomNeighbor(id NodeID, rng *xrand.Rand) (NodeID, bool) {
-	a := g.adj[id]
+	a := g.adj.get(int(id))
 	if len(a) == 0 {
 		return None, false
 	}
@@ -190,72 +214,78 @@ func (g *Graph) RandomNeighbor(id NodeID, rng *xrand.Rand) (NodeID, bool) {
 // RandomAlive returns a uniformly random alive node, or (None, false) for
 // an empty graph.
 func (g *Graph) RandomAlive(rng *xrand.Rand) (NodeID, bool) {
-	if len(g.aliveIDs) == 0 {
+	if g.aliveIDs.len() == 0 {
 		return None, false
 	}
-	return g.aliveIDs[rng.Intn(len(g.aliveIDs))], true
+	return g.aliveIDs.get(rng.Intn(g.aliveIDs.len())), true
 }
 
 // Alive reports whether id is a live node.
 func (g *Graph) Alive(id NodeID) bool {
-	return id >= 0 && int(id) < len(g.alive) && g.alive[id]
+	return id >= 0 && int(id) < g.alivePos.len() && g.alivePos.get(int(id)) >= 0
 }
 
 // NumAlive returns the number of live nodes — the quantity every
 // algorithm in the study tries to estimate.
-func (g *Graph) NumAlive() int { return len(g.aliveIDs) }
+func (g *Graph) NumAlive() int { return g.aliveIDs.len() }
 
 // NumEdges returns the number of live undirected edges.
 func (g *Graph) NumEdges() int { return g.edges }
 
 // NumIDs returns the total number of IDs ever allocated (alive + dead).
-func (g *Graph) NumIDs() int { return len(g.adj) }
+func (g *Graph) NumIDs() int { return g.adj.len() }
 
 // AliveIDs returns a copy of the live node list.
 func (g *Graph) AliveIDs() []NodeID {
-	out := make([]NodeID, len(g.aliveIDs))
-	copy(out, g.aliveIDs)
+	n := g.aliveIDs.len()
+	out := make([]NodeID, n)
+	for pg, off := 0, 0; off < n; pg, off = pg+1, off+pageSize {
+		copy(out[off:], g.aliveIDs.tbl[pg][:min(pageSize, n-off)])
+	}
 	return out
 }
 
 // ForEachAlive calls fn for every live node in unspecified (but
 // deterministic) order. fn must not mutate the graph.
 func (g *Graph) ForEachAlive(fn func(id NodeID)) {
-	for _, id := range g.aliveIDs {
-		fn(id)
+	n := g.aliveIDs.len()
+	for pg, off := 0, 0; off < n; pg, off = pg+1, off+pageSize {
+		for _, id := range g.aliveIDs.tbl[pg][:min(pageSize, n-off)] {
+			fn(id)
+		}
 	}
 }
 
 // AliveAt returns the i-th entry of the internal alive list; together with
 // NumAlive it allows allocation-free sweeps. Order is unspecified and
 // changes across mutations.
-func (g *Graph) AliveAt(i int) NodeID { return g.aliveIDs[i] }
+func (g *Graph) AliveAt(i int) NodeID { return g.aliveIDs.get(i) }
 
 // Clone returns a deep copy of g sharing no mutable state with it. The
 // parallel experiment engine clones one overlay per concurrent estimation
 // instance so identical churn replays stay independent across goroutines.
 func (g *Graph) Clone() *Graph {
 	ng := &Graph{
-		adj:      make([][]NodeID, len(g.adj)),
-		alive:    append([]bool(nil), g.alive...),
-		aliveIDs: append([]NodeID(nil), g.aliveIDs...),
-		alivePos: append([]int32(nil), g.alivePos...),
+		adj:      g.adj.clone(),
+		aliveIDs: g.aliveIDs.clone(),
+		alivePos: g.alivePos.clone(),
 		edges:    g.edges,
 	}
-	for i, a := range g.adj {
-		if len(a) > 0 {
-			ng.adj[i] = append([]NodeID(nil), a...)
+	for i := 0; i < ng.adj.len(); i++ {
+		if a := ng.adj.get(i); len(a) > 0 {
+			ng.adj.set(i, append([]NodeID(nil), a...))
 		}
 	}
 	return ng
 }
 
-// CloneCOW returns a copy-on-write copy of g: the compact bookkeeping
-// arrays are flat-copied (three memcpys, no per-node allocation) while
-// every adjacency list is shared with g until the clone first mutates
-// it. Replaying churn on a clone therefore costs memory proportional to
-// the nodes the churn touches, not to the whole overlay — the contract
-// the parallel run loops rely on when they fan one clone per estimation
+// CloneCOW returns a copy-on-write copy of g: the paged bookkeeping
+// arrays share every page with g until the clone first writes into it
+// (O(N/pageSize) page headers copied, nothing per node) and every
+// adjacency list is shared until its first mutation. Replaying churn on
+// a clone therefore costs memory proportional to the pages and lists
+// the churn touches, not to the whole overlay — the contract the
+// parallel run loops rely on when they fan one clone per estimation
 // instance at paper scale.
 //
 // The receiver acts as the immutable base: it must not be mutated while
@@ -263,28 +293,38 @@ func (g *Graph) Clone() *Graph {
 // every ancestor). Clones are independent of each other and safe to
 // mutate concurrently from different goroutines.
 func (g *Graph) CloneCOW() *Graph {
-	ng := &Graph{
-		adj:      append([][]NodeID(nil), g.adj...),
-		alive:    append([]bool(nil), g.alive...),
-		aliveIDs: append([]NodeID(nil), g.aliveIDs...),
-		alivePos: append([]int32(nil), g.alivePos...),
-		edges:    g.edges,
-		owned:    make([]bool, len(g.adj)),
+	n := g.adj.len()
+	return &Graph{
+		adj:       g.adj.cloneCOW(),
+		aliveIDs:  g.aliveIDs.cloneCOW(),
+		alivePos:  g.alivePos.cloneCOW(),
+		edges:     g.edges,
+		cow:       true,
+		cowBase:   n,
+		ownedAdj:  make([]uint64, (n+63)/64),
+		sharedAdj: n,
 	}
-	return ng
 }
 
 // SharedAdjacency reports how many adjacency lists are still shared
 // with the CloneCOW base (0 for graphs that are not COW clones) — the
-// delta-size diagnostic the footprint tests assert on.
-func (g *Graph) SharedAdjacency() int {
-	shared := 0
-	for _, owned := range g.owned {
-		if !owned {
-			shared++
-		}
-	}
-	return shared
+// delta-size diagnostic the footprint tests assert on. O(1): the count
+// is maintained on every first-mutation copy.
+func (g *Graph) SharedAdjacency() int { return g.sharedAdj }
+
+// SharedPages reports how many fixed-size bookkeeping pages (adjacency
+// headers, alive list, alive positions) are still shared with the
+// CloneCOW base (0 for non-clones) — the chunk-level sibling of
+// SharedAdjacency: clone cost is proportional to TotalPages minus
+// SharedPages, not to N.
+func (g *Graph) SharedPages() int {
+	return g.adj.sharedPages() + g.aliveIDs.sharedPages() + g.alivePos.sharedPages()
+}
+
+// TotalPages reports how many fixed-size bookkeeping pages the graph
+// spans, the denominator for SharedPages ratios.
+func (g *Graph) TotalPages() int {
+	return len(g.adj.tbl) + len(g.aliveIDs.tbl) + len(g.alivePos.tbl)
 }
 
 func (g *Graph) mustAlive(id NodeID) {
@@ -294,30 +334,34 @@ func (g *Graph) mustAlive(id NodeID) {
 }
 
 // CheckInvariants validates structural consistency (adjacency symmetry,
-// no self-loops or duplicates, alive bookkeeping, edge count) and returns
-// an error describing the first violation. Intended for tests.
+// no self-loops or duplicates, alive bookkeeping, edge count, COW
+// ownership counters) and returns an error describing the first
+// violation. Intended for tests.
 func (g *Graph) CheckInvariants() error {
-	if len(g.adj) != len(g.alive) || len(g.adj) != len(g.alivePos) {
+	if g.adj.len() != g.alivePos.len() {
 		return fmt.Errorf("graph: parallel slice lengths diverge")
 	}
 	halfEdges := 0
-	for u := range g.adj {
+	alive := 0
+	for u := 0; u < g.adj.len(); u++ {
 		uid := NodeID(u)
-		if !g.alive[u] {
-			if len(g.adj[u]) != 0 {
+		adjU := g.adj.get(u)
+		pos := g.alivePos.get(u)
+		if pos < 0 {
+			if len(adjU) != 0 {
 				return fmt.Errorf("graph: dead node %d has edges", u)
 			}
-			if g.alivePos[u] != -1 {
-				return fmt.Errorf("graph: dead node %d has alive position", u)
+			if pos != -1 {
+				return fmt.Errorf("graph: dead node %d has corrupt alive position %d", u, pos)
 			}
 			continue
 		}
-		pos := g.alivePos[u]
-		if pos < 0 || int(pos) >= len(g.aliveIDs) || g.aliveIDs[pos] != uid {
+		alive++
+		if int(pos) >= g.aliveIDs.len() || g.aliveIDs.get(int(pos)) != uid {
 			return fmt.Errorf("graph: alive bookkeeping broken for %d", u)
 		}
-		seen := make(map[NodeID]bool, len(g.adj[u]))
-		for _, v := range g.adj[u] {
+		seen := make(map[NodeID]bool, len(adjU))
+		for _, v := range adjU {
 			if v == uid {
 				return fmt.Errorf("graph: self-loop at %d", u)
 			}
@@ -329,7 +373,7 @@ func (g *Graph) CheckInvariants() error {
 				return fmt.Errorf("graph: %d links to dead node %d", u, v)
 			}
 			found := false
-			for _, w := range g.adj[v] {
+			for _, w := range g.adj.get(int(v)) {
 				if w == uid {
 					found = true
 					break
@@ -339,13 +383,26 @@ func (g *Graph) CheckInvariants() error {
 				return fmt.Errorf("graph: asymmetric edge %d-%d", u, v)
 			}
 		}
-		halfEdges += len(g.adj[u])
+		halfEdges += len(adjU)
 	}
 	if halfEdges != 2*g.edges {
 		return fmt.Errorf("graph: edge count %d does not match %d half-edges", g.edges, halfEdges)
 	}
-	if len(g.aliveIDs) > len(g.adj) {
-		return fmt.Errorf("graph: more alive entries than nodes")
+	if g.aliveIDs.len() != alive {
+		return fmt.Errorf("graph: alive list holds %d entries, %d nodes are alive", g.aliveIDs.len(), alive)
+	}
+	if g.cow {
+		shared := 0
+		for id := 0; id < g.cowBase; id++ {
+			if g.ownedAdj[id>>6]&(1<<uint(id&63)) == 0 {
+				shared++
+			}
+		}
+		if shared != g.sharedAdj {
+			return fmt.Errorf("graph: shared-adjacency counter %d, recount %d", g.sharedAdj, shared)
+		}
+	} else if g.sharedAdj != 0 {
+		return fmt.Errorf("graph: non-clone has shared-adjacency counter %d", g.sharedAdj)
 	}
 	return nil
 }

@@ -44,19 +44,17 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	bitmap := make([]byte, (g.NumIDs()+7)/8)
-	for id, ok := range g.alive {
-		if ok {
-			bitmap[id/8] |= 1 << (id % 8)
-		}
-	}
+	g.ForEachAlive(func(id NodeID) {
+		bitmap[id/8] |= 1 << (id % 8)
+	})
 	if err := write(bitmap); err != nil {
 		return n, err
 	}
 	if err := write(uint32(g.edges)); err != nil {
 		return n, err
 	}
-	for u := range g.adj {
-		for _, v := range g.adj[u] {
+	for u := 0; u < g.NumIDs(); u++ {
+		for _, v := range g.adj.get(u) {
 			if NodeID(u) < v {
 				if err := write([2]uint32{uint32(u), uint32(v)}); err != nil {
 					return n, err

@@ -146,6 +146,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("hops-sampling(minHops=%d)", e.cfg.MinHopsReporting)
 }
 
+// MutatesOverlay reports false: hops sampling only floods and observes
+// (core.OverlayMutator), so the monitor may run it on a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

@@ -137,6 +137,10 @@ func New(ring *Ring, k int, rng *xrand.Rand) *Estimator {
 // Name identifies the estimator in reports.
 func (e *Estimator) Name() string { return fmt.Sprintf("id-density(k=%d)", e.k) }
 
+// MutatesOverlay reports false: identifier-density estimation reads its
+// own ring, never the overlay graph (core.OverlayMutator).
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // ErrEmptyOverlay is returned when no live peer can initiate.
 var ErrEmptyOverlay = errors.New("idspace: empty overlay")
 

@@ -17,10 +17,13 @@
 // between its own samples an instance holds its last smoothed value,
 // aging visibly in the staleness series.
 //
-// Instances fan out on the deterministic worker pool: each estimator
-// replays the identical trace on its own overlay clone (the same
-// contract as core.RunDynamicParallel) and walks the same union grid,
-// so results are byte-identical at every worker count.
+// Instances fan out on the deterministic worker pool in replay groups:
+// one overlay clone and one trace replay per instance by default, or —
+// under Config.Replay's shared mode — one per cadence group of
+// read-only estimators (see ReplayMode). Every group replays the
+// identical trace (the same contract as core.RunDynamicParallel) and
+// walks the same union grid, so results are byte-identical at every
+// worker count and in both replay modes.
 package monitor
 
 import (
@@ -120,6 +123,13 @@ type Config struct {
 	// Policy is the smoothing policy applied to every instance that
 	// does not carry its own.
 	Policy Policy
+	// Replay selects the clone/replay strategy of RunScheduled:
+	// ReplayPerInstance (the default, one clone and one replay per
+	// instance) or ReplayShared (read-only instances sharing a cadence
+	// ride one clone and one replay). Like the shard count it is part
+	// of the run's description, never of its output: both modes
+	// produce bit-equal series.
+	Replay ReplayMode
 }
 
 // Instance pairs an estimator with its own sampling cadence and
@@ -172,6 +182,14 @@ type Result struct {
 	Restarts []int
 	// Messages[k] is instance k's total metered protocol traffic.
 	Messages []uint64
+	// Replay is the clone/replay strategy the run used (Config.Replay).
+	Replay ReplayMode
+	// Groups is the number of replay groups — overlay clones, trace
+	// replays — RunScheduled used: len(instances) in per-instance mode,
+	// the number of read-only cadence classes plus mutating instances
+	// in shared mode. RunLive samples the live overlay (no clones, no
+	// replay) and leaves it 0.
+	Groups int
 }
 
 // smoother folds raw estimates into the served value and tracks the
@@ -378,71 +396,97 @@ func resolveSchedules(instances []Instance, cfg Config, horizon float64) (cadenc
 	return cadences, policies, schedules, nil
 }
 
-// RunScheduled replays the trace on a per-instance copy-on-write clone
-// of net (net is the shared immutable base; each clone pays only for
-// the churn it replays) and samples every instance on its own cadence.
-// The result's time grid is the union of all instance schedules: every
-// instance records the true size, its served value and its staleness at
-// every grid tick, but estimates only at its own scheduled times — so
-// mixed cadences stay directly comparable, point for point.
+// RunScheduled replays the trace on copy-on-write clones of net (net is
+// the shared immutable base; each clone pays only for the churn it
+// replays) and samples every instance on its own cadence. The result's
+// time grid is the union of all instance schedules: every instance
+// records the true size, its served value and its staleness at every
+// grid tick, but estimates only at its own scheduled times — so mixed
+// cadences stay directly comparable, point for point.
+//
+// Instances map onto clones per Config.Replay: one clone and one
+// replay per instance by default, or — in shared mode — one per replay
+// group (read-only instances folded by cadence, mutating instances
+// alone; see replayGroups). Group members estimate sequentially at each
+// tick in instance order, and each member's traffic is metered as the
+// group counter's delta around its Estimate call, so Messages is
+// identical in both modes (the replay itself meters nothing).
 //
 // newRNG must return a fresh, identically seeded generator on every
 // call (it drives the replay's join wiring), so all clones see the
 // identical membership trajectory; replay determinism makes the
 // trajectory independent of where an instance's schedule stops along
-// the way. The overlay itself is left unmutated and per-instance
-// message counts are merged into its counter in instance order. Output
-// is byte-identical at every worker count.
+// the way. The overlay itself is left unmutated and per-group message
+// counts are merged into its counter in group order (instance order in
+// the default mode). Output is byte-identical at every worker count and
+// in both replay modes.
 func RunScheduled(instances []Instance, net *overlay.Network, tr *trace.Trace, cfg Config, newRNG func() *xrand.Rand, workers int) (*Result, error) {
 	cadences, policies, schedules, err := resolveSchedules(instances, cfg, tr.Horizon)
 	if err != nil {
 		return nil, err
 	}
 	grid := unionGrid(schedules)
+	groups := replayGroups(instances, cadences, cfg.Replay)
 	type instOut struct {
-		trueSizes []float64
 		raw       []float64
 		smoothed  []float64
 		staleness []float64
 		scheduled int
 		failures  int
 		restarts  int
+		messages  uint64
+	}
+	type groupOut struct {
+		trueSizes []float64
+		insts     []instOut // parallel to the group's member list
 		counter   *metrics.Counter
 	}
-	outs, err := parallel.Map(workers, len(instances), func(k int) (instOut, error) {
+	outs, err := parallel.Map(workers, len(groups), func(gi int) (groupOut, error) {
+		members := groups[gi]
 		clone := net.CloneCOW()
 		player, err := trace.NewPlayer(tr, clone)
 		if err != nil {
-			return instOut{}, err
+			return groupOut{}, err
 		}
 		rng := newRNG()
-		sm := newSmoother(policies[k])
-		o := instOut{counter: clone.Counter()}
-		sched := schedules[k]
-		next := 0 // cursor into this instance's own schedule
+		counter := clone.Counter()
+		o := groupOut{counter: counter, insts: make([]instOut, len(members))}
+		sms := make([]*smoother, len(members))
+		next := make([]int, len(members)) // cursors into each member's own schedule
+		for mi, k := range members {
+			sms[mi] = newSmoother(policies[k])
+		}
 		for _, t := range grid {
 			player.AdvanceTo(clone, t, rng)
 			o.trueSizes = append(o.trueSizes, float64(clone.Size()))
-			due := next < len(sched) && sched[next] == t
-			if !due {
-				o.raw = append(o.raw, math.NaN())
-			} else {
-				next++
-				o.scheduled++
-				est, err := instances[k].Estimator.Estimate(clone)
-				if err != nil {
-					o.failures++
-					o.raw = append(o.raw, math.NaN())
+			for mi, k := range members {
+				m := &o.insts[mi]
+				sched := schedules[k]
+				due := next[mi] < len(sched) && sched[next[mi]] == t
+				if !due {
+					m.raw = append(m.raw, math.NaN())
 				} else {
-					sm.add(est, t)
-					o.raw = append(o.raw, est)
+					next[mi]++
+					m.scheduled++
+					before := counter.Snapshot()
+					est, err := instances[k].Estimator.Estimate(clone)
+					m.messages += counter.DiffTotal(before)
+					if err != nil {
+						m.failures++
+						m.raw = append(m.raw, math.NaN())
+					} else {
+						sms[mi].add(est, t)
+						m.raw = append(m.raw, est)
+					}
 				}
+				served, stale := sms[mi].current(t)
+				m.smoothed = append(m.smoothed, served)
+				m.staleness = append(m.staleness, stale)
 			}
-			served, stale := sm.current(t)
-			o.smoothed = append(o.smoothed, served)
-			o.staleness = append(o.staleness, stale)
 		}
-		o.restarts = sm.restarts
+		for mi := range members {
+			o.insts[mi].restarts = sms[mi].restarts
+		}
 		return o, nil
 	})
 	if err != nil {
@@ -462,26 +506,31 @@ func RunScheduled(instances []Instance, net *overlay.Network, tr *trace.Trace, c
 		Failures:  make([]int, len(instances)),
 		Restarts:  make([]int, len(instances)),
 		Messages:  make([]uint64, len(instances)),
+		Replay:    cfg.Replay,
+		Groups:    len(groups),
 	}
 	res.TrueSizes = outs[0].trueSizes
-	for k, o := range outs {
-		// All clones must have replayed the identical trajectory; a
-		// divergence means newRNG violated its contract.
+	for gi, o := range outs {
+		// Every group's clone must have replayed the identical
+		// trajectory; a divergence means newRNG violated its contract.
 		for i := range o.trueSizes {
 			if o.trueSizes[i] != outs[0].trueSizes[i] {
-				return nil, fmt.Errorf("monitor: trace replay diverged at instance %d, t=%g (%g != %g); newRNG must return identically seeded generators",
-					k, res.Times[i], o.trueSizes[i], outs[0].trueSizes[i])
+				return nil, fmt.Errorf("monitor: trace replay diverged at group %d (instance %d), t=%g (%g != %g); newRNG must return identically seeded generators",
+					gi, groups[gi][0], res.Times[i], o.trueSizes[i], outs[0].trueSizes[i])
 			}
 		}
-		res.Names[k] = instances[k].Estimator.Name()
-		res.Policies[k] = policies[k].normalized()
-		res.Scheduled[k] = o.scheduled
-		res.Raw[k] = o.raw
-		res.Smoothed[k] = o.smoothed
-		res.Staleness[k] = o.staleness
-		res.Failures[k] = o.failures
-		res.Restarts[k] = o.restarts
-		res.Messages[k] = o.counter.Total()
+		for mi, k := range groups[gi] {
+			m := o.insts[mi]
+			res.Names[k] = instances[k].Estimator.Name()
+			res.Policies[k] = policies[k].normalized()
+			res.Scheduled[k] = m.scheduled
+			res.Raw[k] = m.raw
+			res.Smoothed[k] = m.smoothed
+			res.Staleness[k] = m.staleness
+			res.Failures[k] = m.failures
+			res.Restarts[k] = m.restarts
+			res.Messages[k] = m.messages
+		}
 		net.Counter().Merge(o.counter)
 	}
 	return res, nil

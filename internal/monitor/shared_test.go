@@ -1,0 +1,410 @@
+package monitor
+
+// Shared-replay tests: the ReplayShared mode must be a pure layout
+// change — byte-identical series, metrics and message attribution in
+// both modes, across worker counts and seeds — while actually folding
+// read-only cadence classes onto shared clones (group accounting and
+// allocation-footprint assertions).
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"p2psize/internal/core"
+	"p2psize/internal/graph"
+	"p2psize/internal/overlay"
+	"p2psize/internal/registry"
+	"p2psize/internal/samplecollide"
+	"p2psize/internal/trace"
+	"p2psize/internal/xrand"
+)
+
+// roTruth is truthEstimator plus the observe-only capability marker —
+// eligible for shared-replay grouping, unlike the unmarked (and
+// therefore conservatively mutating) truthEstimator.
+type roTruth struct{ name string }
+
+func (e roTruth) Name() string { return e.name }
+func (e roTruth) Estimate(net *overlay.Network) (float64, error) {
+	return float64(net.Size()), nil
+}
+func (roTruth) MutatesOverlay() bool { return false }
+
+// monitorRoster builds one fresh instance of every monitoring-capable
+// registry family (both sharing classes: the observe-only walkers and
+// the cyclon-backed gossip families), each on the default cadence so
+// shared mode folds the whole read-only class into one group.
+func monitorRoster(t *testing.T, seed uint64) []Instance {
+	t.Helper()
+	var ins []Instance
+	for _, d := range registry.All() {
+		if !d.SupportsMonitoring {
+			continue
+		}
+		e, err := d.Build(nil, xrand.New(seed+d.StreamOffset), registry.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		ins = append(ins, Instance{Estimator: e})
+	}
+	if len(ins) < 4 {
+		t.Fatalf("roster too small to exercise grouping: %d families", len(ins))
+	}
+	return ins
+}
+
+// runReplay runs instances against a fresh 400-node overlay and the
+// shared test trace under the given replay mode, returning the result
+// and the base overlay's merged message total.
+func runReplay(t *testing.T, instances []Instance, mode ReplayMode, workers int) (*Result, uint64) {
+	t.Helper()
+	const n = 400
+	net := testNet(n, 22)
+	res, err := RunScheduled(instances, net, testTrace(t, n), Config{Cadence: 20, Replay: mode},
+		func() *xrand.Rand { return xrand.New(23) }, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, net.Counter().Total()
+}
+
+func sameSeries(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		// NaN marks off-schedule/failed ticks; bit-equality must treat
+		// matching NaNs as equal.
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// assertSameResult asserts every deterministic field of two monitor
+// results is bitwise identical.
+func assertSameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if !sameSeries(want.Times, got.Times) || !sameSeries(want.TrueSizes, got.TrueSizes) {
+		t.Fatal("time grid or true-size trajectory diverged between replay modes")
+	}
+	for k := range want.Names {
+		if want.Names[k] != got.Names[k] {
+			t.Fatalf("instance %d name %q != %q", k, got.Names[k], want.Names[k])
+		}
+		if !sameSeries(want.Raw[k], got.Raw[k]) {
+			t.Errorf("%s: raw series diverged", want.Names[k])
+		}
+		if !sameSeries(want.Smoothed[k], got.Smoothed[k]) {
+			t.Errorf("%s: smoothed series diverged", want.Names[k])
+		}
+		if !sameSeries(want.Staleness[k], got.Staleness[k]) {
+			t.Errorf("%s: staleness series diverged", want.Names[k])
+		}
+		if want.Scheduled[k] != got.Scheduled[k] || want.Failures[k] != got.Failures[k] ||
+			want.Restarts[k] != got.Restarts[k] {
+			t.Errorf("%s: scheduled/failures/restarts %d/%d/%d != %d/%d/%d", want.Names[k],
+				got.Scheduled[k], got.Failures[k], got.Restarts[k],
+				want.Scheduled[k], want.Failures[k], want.Restarts[k])
+		}
+		if want.Messages[k] != got.Messages[k] {
+			t.Errorf("%s: message attribution %d != %d", want.Names[k], got.Messages[k], want.Messages[k])
+		}
+	}
+}
+
+// TestSharedReplayBitEqualAllFamilies is the tentpole's equivalence
+// proof over the real catalog: every monitoring-capable family runs in
+// both replay modes and every per-instance series, metric and message
+// count must be bitwise identical — shared replay is a memory layout,
+// never an output change.
+func TestSharedReplayBitEqualAllFamilies(t *testing.T) {
+	perRes, perMsgs := runReplay(t, monitorRoster(t, 400), ReplayPerInstance, 4)
+	shRes, shMsgs := runReplay(t, monitorRoster(t, 400), ReplayShared, 4)
+	assertSameResult(t, perRes, shRes)
+	if perMsgs != shMsgs {
+		t.Fatalf("merged base-counter totals diverged: %d != %d", shMsgs, perMsgs)
+	}
+	if perRes.Groups != len(perRes.Names) {
+		t.Fatalf("per-instance mode used %d groups for %d instances", perRes.Groups, len(perRes.Names))
+	}
+	// Shared mode: all read-only families fold into ONE group (uniform
+	// cadence); each mutating family stays alone.
+	mutating := 0
+	for _, in := range monitorRoster(t, 400) {
+		if core.MutatesOverlay(in.Estimator) {
+			mutating++
+		}
+	}
+	if want := mutating + 1; shRes.Groups != want {
+		t.Fatalf("shared mode used %d groups, want %d (%d mutating + 1 read-only class)",
+			shRes.Groups, want, mutating)
+	}
+	if shRes.Replay != ReplayShared || perRes.Replay != ReplayPerInstance {
+		t.Fatalf("Result.Replay not recorded: %v / %v", perRes.Replay, shRes.Replay)
+	}
+}
+
+// TestSharedReplayGroupAccounting pins the grouping rules: equal-cadence
+// read-only instances share, distinct cadences split, and mutating or
+// capability-less estimators stay in singleton groups.
+func TestSharedReplayGroupAccounting(t *testing.T) {
+	instances := func() []Instance {
+		return []Instance{
+			{Estimator: roTruth{"ro-a"}},                 // cadence 20 (config)
+			{Estimator: roTruth{"ro-b"}},                 // shares ro-a's group
+			{Estimator: roTruth{"ro-slow"}, Cadence: 40}, // own cadence, own group
+			{Estimator: truthEstimator{}},                // no capability: conservative singleton
+			{Estimator: roTruth{"ro-c"}},                 // joins the first group
+			{Estimator: &mutatingTruth{}},                // declared mutating: singleton
+		}
+	}
+	perRes, _ := runReplay(t, instances(), ReplayPerInstance, 1)
+	shRes, _ := runReplay(t, instances(), ReplayShared, 1)
+	if perRes.Groups != 6 {
+		t.Fatalf("per-instance groups = %d, want 6", perRes.Groups)
+	}
+	// {ro-a, ro-b, ro-c}, {ro-slow}, {truth}, {mutating} = 4 groups.
+	if shRes.Groups != 4 {
+		t.Fatalf("shared groups = %d, want 4", shRes.Groups)
+	}
+	assertSameResult(t, perRes, shRes)
+}
+
+// mutatingTruth declares the mutating capability explicitly (the
+// cyclon-backed families' shape) without actually rewiring anything, so
+// grouping decisions stay observable on a cheap estimator.
+type mutatingTruth struct{}
+
+func (*mutatingTruth) Name() string { return "mutating-truth" }
+func (*mutatingTruth) Estimate(net *overlay.Network) (float64, error) {
+	return float64(net.Size()), nil
+}
+func (*mutatingTruth) MutatesOverlay() bool { return true }
+
+// TestSharedReplayWorkerInvariance re-proves the monitor's worker
+// contract in shared mode: groups land on the pool in any order, output
+// never moves.
+func TestSharedReplayWorkerInvariance(t *testing.T) {
+	mk := func() []Instance {
+		return []Instance{
+			{Estimator: roTruth{"ro-a"}},
+			{Estimator: roTruth{"ro-b"}, Cadence: 40},
+			{Estimator: roTruth{"ro-c"}},
+			{Estimator: &mutatingTruth{}},
+		}
+	}
+	base, baseMsgs := runReplay(t, mk(), ReplayShared, 1)
+	for _, workers := range []int{2, 8} {
+		res, msgs := runReplay(t, mk(), ReplayShared, workers)
+		assertSameResult(t, base, res)
+		if msgs != baseMsgs {
+			t.Fatalf("workers=%d merged totals diverged: %d != %d", workers, msgs, baseMsgs)
+		}
+	}
+}
+
+// TestSharedReplayStatisticalEnvelope runs a real (noisy) estimator over
+// 30 seeds in both modes. Bit-equality per seed is the hard guarantee;
+// the aggregated error envelope (mean/stddev of MAPE) is additionally
+// compared, which is what a statistics-level reviewer would check if
+// the modes were merely "equivalent" rather than identical.
+func TestSharedReplayStatisticalEnvelope(t *testing.T) {
+	const runs = 30
+	envelope := func(mode ReplayMode) (mean, std float64) {
+		mapes := make([]float64, 0, runs)
+		for seed := uint64(1); seed <= runs; seed++ {
+			net := testNet(300, seed)
+			tr, err := trace.Generate(trace.Config{
+				Name:    "envelope",
+				Initial: 300,
+				Horizon: 100,
+				Session: trace.SessionDist{Kind: trace.Weibull, Mean: 150, Shape: 0.7},
+			}, xrand.New(seed+100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Three same-cadence Sample&Collide instances: in shared mode
+			// they ride one clone, per-instance three.
+			ins := make([]Instance, 3)
+			for k := range ins {
+				ins[k] = Instance{Estimator: samplecollide.New(
+					samplecollide.Config{T: 5, L: 30}, xrand.New(seed+200+uint64(k)))}
+			}
+			res, err := RunScheduled(ins, net, tr, Config{Cadence: 25, Replay: mode},
+				func() *xrand.Rand { return xrand.New(seed + 300) }, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := range ins {
+				if m := res.MAPE(k); !math.IsNaN(m) {
+					mapes = append(mapes, m)
+				}
+			}
+		}
+		if len(mapes) == 0 {
+			t.Fatal("no usable estimates in the envelope sweep")
+		}
+		for _, m := range mapes {
+			mean += m
+		}
+		mean /= float64(len(mapes))
+		for _, m := range mapes {
+			std += (m - mean) * (m - mean)
+		}
+		return mean, math.Sqrt(std / float64(len(mapes)))
+	}
+	perMean, perStd := envelope(ReplayPerInstance)
+	shMean, shStd := envelope(ReplayShared)
+	// The modes are bit-equal run for run, so the envelopes must agree
+	// exactly — any drift means the grouping leaked into the estimates.
+	if math.Float64bits(perMean) != math.Float64bits(shMean) ||
+		math.Float64bits(perStd) != math.Float64bits(shStd) {
+		t.Fatalf("error envelopes diverged: perinstance %.6g±%.6g, shared %.6g±%.6g",
+			perMean, perStd, shMean, shStd)
+	}
+}
+
+// monitorAllocDelta measures the process TotalAlloc growth of one
+// monitoring run. net and tr are built by the caller, outside the
+// measurement; workers=1 keeps the allocation sequence deterministic.
+func monitorAllocDelta(t *testing.T, net *overlay.Network, tr *trace.Trace, instances []Instance, mode ReplayMode) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := RunScheduled(instances, net, tr, Config{Cadence: 20, Replay: mode},
+		func() *xrand.Rand { return xrand.New(61) }, 1); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestMonitorFootprintSharedGroups asserts the memory claim directly:
+// with six read-only instances on one cadence, shared mode allocates a
+// small fraction of per-instance mode — one clone's replay churn
+// instead of six. Zero-cost truth estimators keep estimator allocations
+// out of the measurement.
+func TestMonitorFootprintSharedGroups(t *testing.T) {
+	const n = 20000
+	net := testNet(n, 60)
+	tr, err := trace.Generate(trace.Config{
+		Name:    "footprint",
+		Initial: n,
+		Horizon: 100,
+		Session: trace.SessionDist{Kind: trace.Weibull, Mean: 100, Shape: 0.7},
+	}, xrand.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []Instance {
+		ins := make([]Instance, 6)
+		for k := range ins {
+			ins[k] = Instance{Estimator: roTruth{"ro"}}
+		}
+		return ins
+	}
+	perAlloc := monitorAllocDelta(t, net, tr, mk(), ReplayPerInstance)
+	shAlloc := monitorAllocDelta(t, net, tr, mk(), ReplayShared)
+	if shAlloc*10 >= perAlloc*7 {
+		t.Fatalf("shared replay allocated %d bytes vs %d per-instance; want < 70%%", shAlloc, perAlloc)
+	}
+}
+
+// TestSharedCloneFootprint1M is the paper-scale version of the
+// footprint claim: at one million nodes, clone memory must scale with
+// replay groups, not instances. Named outside the targeted -race
+// patterns on purpose — a million-node replay under the race detector
+// buys nothing the 20k test does not already prove.
+func TestSharedCloneFootprint1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-node footprint test skipped in -short mode")
+	}
+	const n = 1000000
+	net := testNet(n, 63)
+	tr, err := trace.Generate(trace.Config{
+		Name:    "footprint-1m",
+		Initial: n,
+		Horizon: 50,
+		// Long mean sessions: enough churn to force COW page copies,
+		// little enough that trace generation is not the test's cost.
+		Session: trace.SessionDist{Kind: trace.Weibull, Mean: 500, Shape: 0.7},
+	}, xrand.New(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() []Instance {
+		ins := make([]Instance, 4)
+		for k := range ins {
+			ins[k] = Instance{Estimator: roTruth{"ro"}}
+		}
+		return ins
+	}
+	perAlloc := monitorAllocDelta(t, net, tr, mk(), ReplayPerInstance)
+	shAlloc := monitorAllocDelta(t, net, tr, mk(), ReplayShared)
+	// Four instances, one group: the shared run must land well under
+	// half the per-instance bill (the residue is the shared replay
+	// itself plus per-instance series bookkeeping).
+	if shAlloc*2 >= perAlloc {
+		t.Fatalf("1M shared replay allocated %d bytes vs %d per-instance; want < 50%%", shAlloc, perAlloc)
+	}
+}
+
+// TestSharedReplay10M is the 10M-node shared-mode smoke, gated behind
+// P2PSIZE_10M=1 (CI's bench job sets it; the default test tier does
+// not build 10M-node overlays). Two cheap read-only families share one
+// clone and one replay of a 10M-initial trace.
+func TestSharedReplay10M(t *testing.T) {
+	if os.Getenv("P2PSIZE_10M") == "" {
+		t.Skip("set P2PSIZE_10M=1 to run the 10M shared-replay smoke")
+	}
+	const n = 10000000
+	tr, err := trace.Generate(trace.Config{
+		Name:    "10m-smoke",
+		Initial: n,
+		Horizon: 30,
+		Session: trace.SessionDist{Kind: trace.Weibull, Mean: 300, Shape: 0.7},
+	}, xrand.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := overlay.New(graph.Heterogeneous(n, 10, xrand.New(78)), 10, nil)
+	var ins []Instance
+	for _, name := range []string{"dht", "samplecollide"} {
+		d, ok := registry.Get(name)
+		if !ok {
+			t.Fatalf("registry family %q missing", name)
+		}
+		e, err := d.Build(nil, xrand.New(79+d.StreamOffset), registry.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, Instance{Estimator: e})
+	}
+	res, err := RunScheduled(ins, net, tr, Config{Cadence: 10, Replay: ReplayShared},
+		func() *xrand.Rand { return xrand.New(80) }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Groups != 1 {
+		t.Fatalf("10M smoke used %d replay groups, want 1 shared group", res.Groups)
+	}
+	if len(res.Times) != 3 {
+		t.Fatalf("10M smoke sampled %d ticks, want 3", len(res.Times))
+	}
+	for k := range ins {
+		got := false
+		for _, v := range res.Raw[k] {
+			if !math.IsNaN(v) && v > 0 {
+				got = true
+			}
+		}
+		if !got {
+			t.Fatalf("%s produced no usable estimate at 10M", res.Names[k])
+		}
+	}
+}

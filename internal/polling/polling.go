@@ -69,6 +69,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("polling(p=%g)", e.cfg.ResponseProb)
 }
 
+// MutatesOverlay reports false: polling only broadcasts and counts
+// (core.OverlayMutator), so the monitor may run it on a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

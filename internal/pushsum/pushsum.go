@@ -327,6 +327,11 @@ func NewEstimator(cfg Config, rng *xrand.Rand) *Estimator {
 // Name identifies the estimator in reports.
 func (e *Estimator) Name() string { return e.p.Name() }
 
+// MutatesOverlay reports true (core.OverlayMutator): like Aggregation,
+// push-sum belongs to the cyclon-backed epidemic class whose deployed
+// exchanges rewire views, so it keeps a private overlay clone.
+func (e *Estimator) MutatesOverlay() bool { return true }
+
 // Protocol exposes the underlying protocol instance.
 func (e *Estimator) Protocol() *Protocol { return e.p }
 

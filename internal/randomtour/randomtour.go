@@ -76,6 +76,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("random-tour(tours=%d)", e.cfg.Tours)
 }
 
+// MutatesOverlay reports false: random tours only walk the overlay
+// (core.OverlayMutator), so the monitor may run them on a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

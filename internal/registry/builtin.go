@@ -110,7 +110,10 @@ func init() {
 		SupportsMonitoring: true,
 		SupportsTransport:  true,
 		InDefaultSet:       true,
-		StreamOffset:       13,
+		// Cyclon-backed in deployment: exchanges rewire views, so the
+		// shared-replay monitor keeps it on a private clone.
+		MutatesOverlay: true,
+		StreamOffset:   13,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			if o.Shards < 0 || o.Shards > parallel.MaxConfigShards {
 				return nil, fmt.Errorf("aggregation shards %d out of range [0, %d]", o.Shards, parallel.MaxConfigShards)
@@ -186,7 +189,9 @@ func init() {
 		SupportsDynamic:    true,
 		SupportsMonitoring: true,
 		SupportsTransport:  true,
-		StreamOffset:       16,
+		// Same cyclon-backed epidemic class as aggregation: private clone.
+		MutatesOverlay: true,
+		StreamOffset:   16,
 		New: func(_ *overlay.Network, rng *xrand.Rand, o Options) (core.Estimator, error) {
 			if o.Shards < 0 || o.Shards > parallel.MaxConfigShards {
 				return nil, fmt.Errorf("pushsum shards %d out of range [0, %d]", o.Shards, parallel.MaxConfigShards)

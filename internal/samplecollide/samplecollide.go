@@ -104,6 +104,10 @@ func (e *Estimator) Name() string {
 	return fmt.Sprintf("sample&collide(l=%d)", e.cfg.L)
 }
 
+// MutatesOverlay reports false: sample & collide only walks the overlay
+// (core.OverlayMutator), so the monitor may run it on a shared clone.
+func (e *Estimator) MutatesOverlay() bool { return false }
+
 // Config returns the estimator's configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 

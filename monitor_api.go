@@ -54,6 +54,16 @@ type MonitorOptions struct {
 	// ReplaySeed drives the replay's join wiring (default: the zero
 	// stream). Equal seeds give byte-identical runs.
 	ReplaySeed uint64
+	// Replay selects how instances map onto overlay clones:
+	// "perinstance" (or "", the default) replays the trace once per
+	// estimator on a private clone; "shared" folds observe-only
+	// estimators with equal cadences onto one clone and one replay each,
+	// cutting replay work and clone memory from O(estimators) to
+	// O(groups). Estimators that may rewire the overlay — including any
+	// custom estimator that does not declare otherwise — always keep a
+	// private clone. Both spellings produce bit-identical results; see
+	// Groups for the mapping the run actually used.
+	Replay string
 	// Workers caps the pool that fans estimator instances across cores
 	// (0 = all CPUs); output is identical at every setting.
 	Workers int
@@ -97,6 +107,13 @@ func (r *MonitorResult) TrueSizes() []float64 { return r.res.TrueSizes }
 
 // Names returns the estimator names, in instance order.
 func (r *MonitorResult) Names() []string { return r.res.Names }
+
+// Groups returns how many replay groups the run used: one clone and
+// one trace replay per group. Equal to the estimator count under
+// per-instance replay; at most that under MonitorOptions.Replay
+// "shared", where observe-only estimators sharing a cadence share a
+// group.
+func (r *MonitorResult) Groups() int { return r.res.Groups }
 
 // check validates an instance index before it reaches the internal
 // slices, so a caller iterating the wrong roster gets a p2psize-
@@ -176,6 +193,10 @@ func RunMonitor(net *Network, tr *Trace, estimators []Estimator, opts MonitorOpt
 		return nil, fmt.Errorf("p2psize: MonitorOptions.Cadences has %d entries for %d estimators",
 			len(opts.Cadences), len(estimators))
 	}
+	replay, err := monitor.ParseReplayMode(opts.Replay)
+	if err != nil {
+		return nil, fmt.Errorf("p2psize: %w", err)
+	}
 	instances := make([]monitor.Instance, len(estimators))
 	for k, e := range estimators {
 		instances[k] = monitor.Instance{Estimator: toCore(e)}
@@ -191,6 +212,7 @@ func RunMonitor(net *Network, tr *Trace, estimators []Estimator, opts MonitorOpt
 			Alpha:       opts.Alpha,
 			RestartJump: opts.RestartJump,
 		},
+		Replay: replay,
 	}, func() *xrand.Rand { return xrand.New(opts.ReplaySeed) }, opts.Workers)
 	if err != nil {
 		return nil, err
