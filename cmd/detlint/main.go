@@ -1,0 +1,69 @@
+// Command detlint runs the repo's determinism & metering analyzers
+// (internal/lint) over a set of package patterns, multichecker-style:
+//
+//	go run ./cmd/detlint ./...
+//	go run ./cmd/detlint -only maprange,walltime ./internal/...
+//	go run ./cmd/detlint -list
+//
+// Findings print as file:line:col: message [analyzer]. Exit status is
+// 0 when clean, 1 when findings survive the allowlists and
+// //detlint:allow directives, 2 on usage or load errors. Test files
+// are not analyzed (the invariants guard shipped code; tests read
+// clocks and build colliding descriptors on purpose).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p2psize/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: detlint [-only a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "detlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	loader := lint.NewLoader("")
+	module, err := loader.Module()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags := lint.NewSuite(module, analyzers).Run(pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -322,7 +322,12 @@ func RegisterEstimator(c CustomEstimator) error {
 		SupportsDynamic:    c.SupportsDynamic,
 		SupportsMonitoring: c.SupportsMonitoring,
 		MutatesOverlay:     !c.ObserveOnly,
-		StreamOffset:       customOffset.Add(1),
+		// Custom families draw offsets from an atomic counter far above
+		// the built-ins' frozen block (1<<20), so a static collision with
+		// a literal offset is impossible; the cost is that reproducible
+		// rosters must register custom families in a fixed order.
+		//detlint:allow streamoffset — runtime-allocated block above 1<<20 cannot collide with frozen literals
+		StreamOffset: customOffset.Add(1),
 		New: func(_ *overlay.Network, rng *xrand.Rand, _ registry.Options) (core.Estimator, error) {
 			e, err := mk(rng.Uint64())
 			if err != nil {

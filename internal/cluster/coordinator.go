@@ -94,6 +94,7 @@ type pingSource struct {
 
 func (s *pingSource) Refresh(net *overlay.Network, t float64) error {
 	for _, id := range append([]transport.NodeID(nil), net.Graph().AliveIDs()...) {
+		//detlint:allow meterseam — liveness probes are control-plane RPC, not metered protocol traffic
 		if _, err := s.tr.Request(id, "ping", nil); err != nil {
 			if !errors.Is(err, transport.ErrPeerUnreachable) {
 				return err
@@ -205,6 +206,7 @@ func Run(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		//detlint:allow meterseam — topology assignment is control-plane RPC, not metered protocol traffic
 		if _, err := coord.Request(id, "assign", payload); err != nil {
 			return nil, fmt.Errorf("cluster: assign daemon %d (%s): %w", i, addrs[i], err)
 		}
@@ -212,6 +214,7 @@ func Run(cfg Config) (*Report, error) {
 	live := graph.NewWithNodes(n)
 	for i := 0; i < n; i++ {
 		id := graph.NodeID(i)
+		//detlint:allow meterseam — neighbor-table readback is control-plane RPC, not metered protocol traffic
 		resp, err := coord.Request(id, "neighbors", nil)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: neighbors of daemon %d: %w", i, err)
@@ -292,6 +295,7 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Teardown {
 		for i := 0; i < n; i++ {
 			// Best effort: a daemon that already died is what Departed is for.
+			//detlint:allow meterseam — teardown is control-plane RPC, not metered protocol traffic
 			_, _ = coord.Request(graph.NodeID(i), "shutdown", nil)
 		}
 		logf("shutdown sent to %d daemons", n)

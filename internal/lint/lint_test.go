@@ -1,0 +1,41 @@
+package lint
+
+import "testing"
+
+// One fixture tree per analyzer: flagged, quiet and suppressed shapes
+// side by side, checked by the analysistest-style harness.
+
+func TestMapRangeFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{MapRange}, fixturePath("mrfix"))
+}
+
+func TestWallTimeFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{WallTime}, fixturePath("wtfix"))
+}
+
+func TestRNGSourceFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{RNGSource}, fixturePath("rsfix"))
+}
+
+func TestStreamOffsetFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{StreamOffset}, fixturePath("sofix"))
+}
+
+func TestMeterSeamFixtures(t *testing.T) {
+	runFixture(t, []*Analyzer{MeterSeam}, fixturePath("msfix"))
+}
+
+// TestStreamOffsetCrossPackage pins the analyzer's reason to exist
+// over the runtime registry check: the two halves of the collision
+// live in different packages, and each finding names the other file.
+func TestStreamOffsetCrossPackage(t *testing.T) {
+	runFixture(t, []*Analyzer{StreamOffset},
+		fixturePath("sopair/a"), fixturePath("sopair/b"))
+}
+
+// TestAllowlistedScope runs the FULL suite over a fixture living in
+// the transport subtree: wall-clock reads and map-order rng draws are
+// legal below the metering seam, so nothing may be reported.
+func TestAllowlistedScope(t *testing.T) {
+	runFixture(t, All(), "p2psize/internal/transport/scopefix")
+}

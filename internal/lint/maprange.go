@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map in deterministic packages when
+// the loop body makes the nondeterministic iteration order observable:
+// it draws from an *xrand.Rand stream (the order of draws becomes the
+// map order), sends on the overlay meter or a transport (message
+// series diverge run to run), or appends to a slice that outlives the
+// loop without being sorted afterwards (the PR-1 bug class:
+// graph.BarabasiAlbert, cyclon.ExportGraph and cyclon.Join all
+// accumulated map-ordered slices that fed later draws). Loops whose
+// accumulated slice is passed to sort/slices before use are the
+// sanctioned fix and are not flagged.
+var MapRange = &Analyzer{
+	Name:         "maprange",
+	Doc:          "map iteration order must not reach rng draws, metered sends, or escaping slices",
+	InternalOnly: true,
+	Allowlist:    deterministicAllowlist,
+	Run:          runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		// Track the innermost enclosing function body so the
+		// append-then-sort suppression can look past the loop.
+		var stack []ast.Node
+		var bodies []*ast.BlockStmt
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				switch stack[len(stack)-1].(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					bodies = bodies[:len(bodies)-1]
+				}
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				bodies = append(bodies, v.Body)
+			case *ast.FuncLit:
+				bodies = append(bodies, v.Body)
+			case *ast.RangeStmt:
+				var encl *ast.BlockStmt
+				if len(bodies) > 0 {
+					encl = bodies[len(bodies)-1]
+				}
+				checkMapRange(pass, v, encl)
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, loop *ast.RangeStmt, encl *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	t := info.TypeOf(loop.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := rngDraw(info, call); why != "" {
+			pass.Reportf(loop.For, "map iteration order reaches the rng: %s inside `for range` over a map (PR-1 bug class; iterate a sorted snapshot instead)", why)
+			return false
+		}
+		if why := meteredSend(info, call); why != "" {
+			pass.Reportf(loop.For, "map iteration order reaches the message meter: %s inside `for range` over a map (series diverge run to run; iterate a sorted snapshot instead)", why)
+			return false
+		}
+		if obj := escapingAppend(info, call, loop); obj != nil && !sortedAfter(info, encl, loop, obj) {
+			pass.Reportf(loop.For, "`for range` over a map appends to %q, which outlives the loop in map order (PR-1 bug class; sort %q afterwards or iterate a sorted snapshot)", obj.Name(), obj.Name())
+			return false
+		}
+		return true
+	})
+}
+
+// rngDraw reports a call that draws from (or hands off) an *xrand.Rand.
+func rngDraw(info *types.Info, call *ast.CallExpr) string {
+	if fn := calleeFunc(info, call); fn != nil && funcPkgPath(fn) == pkgXrand {
+		if sig := fn.Signature(); sig.Recv() != nil {
+			return "(*xrand.Rand)." + fn.Name() + " draw"
+		}
+	}
+	for _, arg := range call.Args {
+		if at := info.TypeOf(arg); at != nil && isNamedFrom(at, pkgXrand, "Rand") {
+			name := "a call"
+			if fn := calleeFunc(info, call); fn != nil {
+				name = fn.Name()
+			}
+			return "*xrand.Rand passed to " + name
+		}
+	}
+	return ""
+}
+
+// meteredSend reports a call that meters messages: the overlay Send
+// surface, the raw metrics counter, or a transport delivery.
+func meteredSend(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	switch funcPkgPath(fn) {
+	case pkgOverlay:
+		switch fn.Name() {
+		case "Send", "SendTo", "SendN", "Deliver":
+			return "overlay." + fn.Name()
+		}
+	case pkgMetrics:
+		switch fn.Name() {
+		case "Inc", "Add":
+			return "metrics.Counter." + fn.Name()
+		}
+	case pkgTransport:
+		switch fn.Name() {
+		case "Deliver", "Request":
+			return "transport." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// escapingAppend returns the object of a slice appended to inside the
+// loop but declared outside it, or nil.
+func escapingAppend(info *types.Info, call *ast.CallExpr, loop *ast.RangeStmt) types.Object {
+	if !isAppendCall(info, call) || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObj(info, id)
+	if obj == nil || obj.Pos() == 0 {
+		return nil
+	}
+	if obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End() {
+		return nil // loop-local accumulator, dies with the iteration
+	}
+	return obj
+}
+
+// sortedAfter reports whether, after the loop inside the enclosing
+// function body, the object is handed to the sort or slices package —
+// the sanctioned way to scrub map order from an accumulated slice.
+func sortedAfter(info *types.Info, encl *ast.BlockStmt, loop *ast.RangeStmt, obj types.Object) bool {
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(info, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// MeterSeam flags direct calls to the transport's Deliver/Request
+// surface outside internal/overlay (and the transport package itself).
+// PR 7's contract is metering-before-delivery: overlay.Send/SendTo/
+// SendN meter first and then hand the message to the installed
+// transport, which is what keeps live and simulated runs bit-identical
+// — a protocol that talks to the transport directly moves unmetered
+// traffic and skews every overhead comparison. Control-plane RPC in
+// the cluster coordinator is an intentional exception and carries
+// reviewed //detlint:allow directives.
+var MeterSeam = &Analyzer{
+	Name:      "meterseam",
+	Doc:       "transport Deliver/Request may only be called behind the overlay metering seam",
+	Allowlist: []string{pkgOverlay + "/...", pkgTransport + "/..."},
+	Run:       runMeterSeam,
+}
+
+func runMeterSeam(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || fn.Signature().Recv() == nil {
+				return true
+			}
+			pkg := funcPkgPath(fn)
+			if pkg != pkgTransport && pkg != pkgOverlay {
+				return true
+			}
+			switch fn.Name() {
+			case "Deliver", "Request":
+				pass.Reportf(call.Pos(), "direct transport %s call bypasses the overlay metering seam (meter protocol traffic through overlay.Send/SendTo/SendN so live and simulated runs stay bit-identical)", fn.Name())
+			}
+			return true
+		})
+	}
+}

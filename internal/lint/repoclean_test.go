@@ -1,0 +1,34 @@
+package lint
+
+import "testing"
+
+// TestRepoClean runs the full analyzer suite over the whole module —
+// the same gate CI applies with `go run ./cmd/detlint ./...` — so a
+// determinism regression fails `go test ./...` locally, not just CI.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	dir, err := NewLoader("").ModuleDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(dir)
+	module, err := loader.Module()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Guard against the suite silently analyzing nothing: the module
+	// has dozens of packages and must keep having them.
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages from %s; loader lost the module", len(pkgs), dir)
+	}
+	diags := NewSuite(module, nil).Run(pkgs)
+	for _, d := range diags {
+		t.Errorf("detlint finding in clean repo: %s", d)
+	}
+}

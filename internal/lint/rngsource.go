@@ -1,0 +1,35 @@
+package lint
+
+import "strings"
+
+// RNGSource forbids importing math/rand, math/rand/v2 and crypto/rand
+// anywhere in the module. Every random draw must come from a seeded
+// p2psize/internal/xrand stream: the split-stream discipline (one
+// *xrand.Rand per component, derived from the experiment seed) is what
+// makes runs byte-identical across worker counts and machines, and a
+// single stray stdlib draw silently breaks it. Unlike the other
+// analyzers this one covers cmd/ and the public API too — an rng
+// smuggled in at the CLI boundary corrupts reproducibility just as
+// thoroughly.
+var RNGSource = &Analyzer{
+	Name: "rngsource",
+	Doc:  "all randomness must come from p2psize/internal/xrand streams",
+	Run:  runRNGSource,
+}
+
+var bannedRNGImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func runRNGSource(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		for _, spec := range file.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if bannedRNGImports[path] {
+				pass.Reportf(spec.Pos(), "import of %q is forbidden: derive all randomness from seeded p2psize/internal/xrand streams (Split/NewStream) so runs stay byte-identical", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// StreamOffset statically extracts every registry.Descriptor composite
+// literal in the module and checks the seed-stream offset contract:
+// offsets must be compile-time constants (a dynamic offset cannot be
+// audited for collisions) and unique across the whole repo. The
+// runtime check in registry.Register only fires for rosters a test
+// happens to load; this analyzer sees every literal, loaded or not,
+// and a collision finding carries BOTH declaration sites so each end
+// of the clash is clickable.
+var StreamOffset = &Analyzer{
+	Name:   "streamoffset",
+	Doc:    "registry.Descriptor stream offsets must be constant and collision-free repo-wide",
+	Run:    runStreamOffset,
+	Finish: finishStreamOffset,
+}
+
+// offsetSite is one constant StreamOffset field occurrence.
+type offsetSite struct {
+	val   uint64
+	owner string // Descriptor.Name when it is a constant string, else "?"
+	pos   token.Position
+}
+
+func runStreamOffset(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			if t := info.TypeOf(lit); t == nil || !isNamedFrom(t, pkgRegistry, "Descriptor") {
+				return true
+			}
+			var (
+				offKV *ast.KeyValueExpr
+				owner = "?"
+			)
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch key.Name {
+				case "StreamOffset":
+					offKV = kv
+				case "Name":
+					if tv, ok := info.Types[kv.Value]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+						owner = constant.StringVal(tv.Value)
+					}
+				}
+			}
+			if offKV == nil {
+				return true
+			}
+			tv, ok := info.Types[offKV.Value]
+			if !ok || tv.Value == nil {
+				pass.Reportf(offKV.Value.Pos(), "registry.Descriptor StreamOffset is not a compile-time constant: dynamic offsets cannot be audited for seed-stream collisions")
+				return true
+			}
+			val, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+			if !ok {
+				pass.Reportf(offKV.Value.Pos(), "registry.Descriptor StreamOffset does not fit uint64")
+				return true
+			}
+			pass.Suite.offsetSites = append(pass.Suite.offsetSites, offsetSite{
+				val:   val,
+				owner: owner,
+				pos:   pass.Position(offKV.Value.Pos()),
+			})
+			return true
+		})
+	}
+}
+
+func finishStreamOffset(s *Suite) {
+	byVal := map[uint64][]offsetSite{}
+	for _, site := range s.offsetSites {
+		byVal[site.val] = append(byVal[site.val], site)
+	}
+	for val, sites := range byVal {
+		if len(sites) < 2 {
+			continue
+		}
+		for i, site := range sites {
+			other := sites[(i+1)%len(sites)]
+			s.report(Diagnostic{
+				Pos:      site.pos,
+				Analyzer: "streamoffset",
+				Message:  formatCollision(val, site, other),
+			})
+		}
+	}
+}
+
+func formatCollision(val uint64, site, other offsetSite) string {
+	return "stream offset " + utoa(val) + " of " + quoteOwner(site.owner) +
+		" collides with " + quoteOwner(other.owner) + " declared at " + other.pos.String()
+}
+
+func quoteOwner(owner string) string {
+	if owner == "?" {
+		return "a descriptor with a non-constant name"
+	}
+	return "\"" + owner + "\""
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

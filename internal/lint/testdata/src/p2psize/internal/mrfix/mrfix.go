@@ -1,0 +1,112 @@
+// Package mrfix is the maprange fixture: the PR-1 bug class
+// (map-ordered iteration feeding rng draws, metered sends, or escaping
+// slices) plus the sanctioned shapes that must stay quiet.
+package mrfix
+
+import (
+	"slices"
+	"sort"
+
+	"p2psize/internal/metrics"
+	"p2psize/internal/xrand"
+)
+
+// DrawPerEntry is the PR-1 shape in miniature: one rng draw per map
+// entry means the draw sequence follows Go's randomized map order.
+func DrawPerEntry(m map[int]int, rng *xrand.Rand) uint64 {
+	var acc uint64
+	for range m { // want "map iteration order reaches the rng"
+		acc += rng.Uint64()
+	}
+	return acc
+}
+
+// HandOff passes the stream to a callee instead of drawing directly;
+// the draws still happen in map order.
+func HandOff(m map[int]bool, rng *xrand.Rand) {
+	for k := range m { // want "map iteration order reaches the rng"
+		sink(k, rng)
+	}
+}
+
+func sink(int, *xrand.Rand) {}
+
+// MeterPerEntry meters one message per map entry: the per-kind series
+// diverge run to run.
+func MeterPerEntry(m map[int]int, c *metrics.Counter) {
+	for range m { // want "map iteration order reaches the message meter"
+		c.Inc(metrics.KindPush)
+	}
+}
+
+// ExportKeys is exactly cyclon.ExportGraph before PR 1: the collected
+// slice leaves the loop in map order.
+func ExportKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want "appends to .keys., which outlives the loop in map order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the PR-1 fix: the accumulated slice is sorted before
+// it can influence anything, so map order is scrubbed.
+func SortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// SortedBySlices scrubs map order with the slices package instead.
+func SortedBySlices(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// LocalAccumulator appends to a slice that dies with the iteration:
+// order cannot escape.
+func LocalAccumulator(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// OrderFreeSum reduces the map commutatively; no trigger.
+func OrderFreeSum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// SliceLoop draws per entry over a slice — iteration order is
+// deterministic, so no finding.
+func SliceLoop(xs []int, rng *xrand.Rand) uint64 {
+	var acc uint64
+	for range xs {
+		acc += rng.Uint64()
+	}
+	return acc
+}
+
+// Suppressed documents an intentionally order-exposed loop.
+func Suppressed(m map[int]int, rng *xrand.Rand) uint64 {
+	var acc uint64
+	//detlint:allow maprange — fixture: the draw count, not the order, matters here
+	for range m {
+		acc += rng.Uint64()
+	}
+	return acc
+}

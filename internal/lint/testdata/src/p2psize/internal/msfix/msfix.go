@@ -1,0 +1,38 @@
+// Package msfix is the meterseam fixture: direct transport calls that
+// bypass the overlay's metering-before-delivery seam.
+package msfix
+
+import (
+	"p2psize/internal/metrics"
+	"p2psize/internal/overlay"
+	"p2psize/internal/transport"
+)
+
+// Direct calls the transport interface without metering first.
+func Direct(t transport.Transport) {
+	_ = t.Deliver(1, metrics.KindPush, 1) // want "direct transport Deliver call bypasses the overlay metering seam"
+	_, _ = t.Request(1, "op", nil)        // want "direct transport Request call bypasses the overlay metering seam"
+}
+
+// ViaOverlayInterface bypasses the seam through the overlay-side
+// interface declaration instead; same violation.
+func ViaOverlayInterface(t overlay.Transport) {
+	_ = t.Deliver(2, metrics.KindPull, 3) // want "direct transport Deliver call bypasses the overlay metering seam"
+}
+
+// homonym has a Deliver method that has nothing to do with transports.
+type homonym struct{}
+
+func (homonym) Deliver(a, b, c int) int { return a + b + c }
+
+// HomonymOK: unrelated Deliver methods stay quiet.
+func HomonymOK(h homonym) int { return h.Deliver(1, 2, 3) }
+
+// MeteredOK is the sanctioned path: the overlay meters, then forwards.
+func MeteredOK(n *overlay.Network) { n.Send(metrics.KindPush) }
+
+// SuppressedControlPlane documents a reviewed control-plane RPC.
+func SuppressedControlPlane(t transport.Transport) {
+	//detlint:allow meterseam — fixture: control-plane RPC, not metered protocol traffic
+	_, _ = t.Request(1, "ping", nil)
+}

@@ -1,0 +1,19 @@
+// Package rsfix is the rngsource fixture: every stdlib randomness
+// import is banned — the seeded xrand streams are the contract.
+package rsfix
+
+import (
+	crand "crypto/rand" // want "import of .crypto/rand. is forbidden"
+	mrand "math/rand"   // want "import of .math/rand. is forbidden"
+
+	"p2psize/internal/xrand"
+)
+
+// Read uses the banned crypto source.
+func Read(p []byte) { _, _ = crand.Read(p) }
+
+// Intn uses the banned math source.
+func Intn(n int) int { return mrand.Intn(n) }
+
+// SeededOK draws from the sanctioned stream.
+func SeededOK(rng *xrand.Rand) uint64 { return rng.Uint64() }

@@ -1,0 +1,9 @@
+package rsfix
+
+import (
+	//detlint:allow rngsource — fixture: documenting the directive form for a reviewed exception
+	randv2 "math/rand/v2"
+)
+
+// V2Allowed rides the reviewed exception above.
+func V2Allowed() uint64 { return randv2.Uint64() }

@@ -1,0 +1,27 @@
+// Package sofix is the streamoffset fixture: colliding and
+// non-constant registry.Descriptor stream offsets, against the real
+// registry type.
+package sofix
+
+import "p2psize/internal/registry"
+
+const dupOffset = 7777
+
+// A and B collide; both ends of the clash are reported, each naming
+// the other's declaration site.
+var A = registry.Descriptor{Name: "so-a", StreamOffset: dupOffset} // want "stream offset 7777 of .so-a. collides with .so-b. declared at"
+var B = registry.Descriptor{Name: "so-b", StreamOffset: 7777}      // want "stream offset 7777 of .so-b. collides with .so-a. declared at"
+
+// C is unique: quiet.
+var C = registry.Descriptor{Name: "so-c", StreamOffset: 7778}
+
+// Dyn's offset cannot be audited statically.
+func Dyn(n uint64) registry.Descriptor {
+	return registry.Descriptor{Name: "so-dyn", StreamOffset: n} // want "not a compile-time constant"
+}
+
+// DynAllowed documents a reviewed dynamic-offset scheme.
+func DynAllowed(n uint64) registry.Descriptor {
+	//detlint:allow streamoffset — fixture: runtime-allocated block audited by the registry itself
+	return registry.Descriptor{Name: "so-dyn2", StreamOffset: n}
+}

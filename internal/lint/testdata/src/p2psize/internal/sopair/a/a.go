@@ -1,0 +1,9 @@
+// Package a holds one half of a CROSS-PACKAGE stream-offset clash:
+// the registry's runtime check only sees descriptors a test happens to
+// register together, but the analyzer aggregates literals repo-wide.
+package a
+
+import "p2psize/internal/registry"
+
+// Pair collides with its twin in ../b.
+var Pair = registry.Descriptor{Name: "pair-a", StreamOffset: 8888} // want "stream offset 8888 of .pair-a. collides with .pair-b. declared at .*sopair/b/b.go"

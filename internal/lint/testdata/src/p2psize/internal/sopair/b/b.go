@@ -1,0 +1,7 @@
+// Package b is the other half of the cross-package clash with ../a.
+package b
+
+import "p2psize/internal/registry"
+
+// Pair collides with its twin in ../a.
+var Pair = registry.Descriptor{Name: "pair-b", StreamOffset: 8888} // want "stream offset 8888 of .pair-b. collides with .pair-a. declared at .*sopair/a/a.go"

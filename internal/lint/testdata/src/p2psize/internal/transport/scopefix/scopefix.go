@@ -1,0 +1,20 @@
+// Package scopefix sits under the transport subtree, which the
+// deterministic analyzers allowlist wholesale: this layer owns real
+// clocks and sockets. Violations of maprange and walltime below must
+// produce no findings.
+package scopefix
+
+import (
+	"time"
+
+	"p2psize/internal/xrand"
+)
+
+// Busy commits every deterministic sin at once — legally, here.
+func Busy(m map[int]int, rng *xrand.Rand) uint64 {
+	acc := uint64(time.Now().UnixNano())
+	for range m {
+		acc += rng.Uint64()
+	}
+	return acc
+}

@@ -1,0 +1,29 @@
+// Package wtfix is the walltime fixture: wall-clock reads in a
+// deterministic package, plus the clock uses that stay legal.
+package wtfix
+
+import "time"
+
+// Stamp reads the wall clock into simulation state.
+func Stamp() int64 {
+	t := time.Now() // want "wall-clock read time.Now"
+	return t.UnixNano()
+}
+
+// Elapsed folds a wall-clock interval into a result.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want "wall-clock read time.Since"
+}
+
+// SleepOK: pacing is not a clock *read*; only Now/Since leak wall time
+// into results.
+func SleepOK() { time.Sleep(time.Millisecond) }
+
+// DurationsOK: time.Duration arithmetic carries no wall-clock value.
+func DurationsOK(d time.Duration) time.Duration { return d * 2 }
+
+// SuppressedStamp documents an intentional read.
+func SuppressedStamp() time.Time {
+	//detlint:allow walltime — fixture: log decoration only, never enters results
+	return time.Now()
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime forbids reading the wall clock (time.Now, time.Since) in
+// deterministic packages. Estimator arithmetic, churn replay and the
+// monitor timeline all advance on the seeded discrete event clock;
+// a wall-clock read that leaks into any of them makes runs diverge
+// between machines and between worker counts. The reviewed wall-time
+// sites are allowlisted: experiments/suite.go (wall-time *reporting*,
+// never fed back into results), the transport (RTO/retry timers) and
+// the cluster daemons (deployment edge).
+var WallTime = &Analyzer{
+	Name:         "walltime",
+	Doc:          "no time.Now/time.Since outside the allowlisted wall-time sites",
+	InternalOnly: true,
+	Allowlist:    walltimeAllowlist,
+	Run:          runWallTime,
+}
+
+func runWallTime(pass *Pass) {
+	for _, file := range pass.Pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Pkg.Info, call)
+			if fn == nil || funcPkgPath(fn) != "time" {
+				return true
+			}
+			switch fn.Name() {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(), "wall-clock read time.%s in a deterministic package (drive logic from the seeded timeline; wall time is reserved to suite timing, transport timers and cluster daemons)", fn.Name())
+			}
+			return true
+		})
+	}
+}

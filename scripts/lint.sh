@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local mirror of the CI `lint` job: gofmt + vet + staticcheck +
+# govulncheck + detlint, in that order, so a clean run here means a
+# clean gate there. staticcheck and govulncheck are fetched by CI but
+# may be absent locally; they are skipped (loudly) when neither an
+# installed binary nor a module cache copy can run them offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif GOFLAGS=-mod=mod go run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./... 2>/dev/null; then
+    : # ran from the module cache / network
+else
+    echo "staticcheck unavailable offline; skipped (CI still runs it)" >&2
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+elif GOFLAGS=-mod=mod go run golang.org/x/vuln/cmd/govulncheck@latest ./... 2>/dev/null; then
+    :
+else
+    echo "govulncheck unavailable offline; skipped (CI still runs it)" >&2
+fi
+
+echo "== detlint"
+go run ./cmd/detlint ./...
+
+echo "lint clean"
